@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+The three Figure 1 panels (E1–E3) share one expensive computation: the
+spectral and flow cluster ensembles on the AtP-DBLP stand-in. The first
+bench that needs it computes it (inside its timed region) and caches it
+here for the other panels, which then time only their own panel's work
+(the niceness measurements).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+FOCUS_MIN_SIZE = 30  # the paper studies "reasonably good clusters" of
+# sizes well above the tiny end; on our ~1.3k-node stand-in this means
+# buckets from ~30 nodes up.
+
+
+@pytest.fixture(scope="session")
+def shared_cache():
+    """Mutable session cache shared across benchmark files."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def atp_graph():
+    """The Figure 1 workload: synthetic AtP-DBLP, small scale."""
+    from repro.datasets import synthetic_atp_dblp
+
+    return synthetic_atp_dblp(
+        scale="small", seed=7, whisker_chains=60, whisker_length=4
+    ).graph
+
+
+def compute_figure1(graph):
+    """The full Figure 1 comparison used by E1–E3."""
+    from repro.ncp import figure1_comparison
+
+    return figure1_comparison(graph, num_buckets=8, num_seeds=20, seed=11)
+
+
+def get_figure1(cache, graph, *, benchmark=None):
+    """Fetch (or compute, optionally timed) the shared comparison."""
+    if "fig1" not in cache:
+        if benchmark is not None:
+            cache["fig1"] = benchmark.pedantic(
+                compute_figure1, args=(graph,), rounds=1, iterations=1
+            )
+        else:
+            cache["fig1"] = compute_figure1(graph)
+    return cache["fig1"]
+
+
+def focus_buckets(result):
+    """Joint buckets in the paper's focus size range."""
+    return [
+        b for b in result.joint_buckets() if b.size_high > FOCUS_MIN_SIZE
+    ]

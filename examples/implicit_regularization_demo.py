@@ -1,0 +1,83 @@
+"""Implicit regularization knobs, demonstrated end to end.
+
+Three demonstrations from the paper's Section 2.3 / 3.1:
+
+1. the *regularization path* of the heat kernel — sweeping the time
+   parameter t trades Rayleigh quotient (solution quality) against entropy
+   (solution niceness), exactly like a ridge path trades loss against norm;
+2. *early stopping* of the power method — the iteration count acts as the
+   regularization parameter;
+3. *truncation* in the ACL push algorithm — the threshold ε controls a
+   locality/accuracy tradeoff with a provable error bound.
+
+Run with ``python examples/implicit_regularization_demo.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import format_table
+from repro.datasets import load_graph
+from repro.regularization import (
+    early_stopping_path,
+    heat_kernel_path,
+    truncation_path,
+)
+
+
+def demo_heat_kernel_path(graph):
+    print("1) Heat-kernel regularization path (eta = t):")
+    points = heat_kernel_path(graph, [0.25, 1.0, 4.0, 16.0, 64.0])
+    print(
+        format_table(
+            ["t (= eta)", "Tr(LX)  [quality]", "entropy  [niceness]",
+             "effective rank", "||X - X*||"],
+            [
+                [p.parameter, p.rayleigh, p.entropy, p.effective_rank,
+                 p.distance_to_optimum]
+                for p in points
+            ],
+        )
+    )
+    print("   -> more time = less regularization: quality improves, the\n"
+          "      density sharpens toward the rank-one Fiedler optimum.\n")
+
+
+def demo_early_stopping(graph):
+    print("2) Early stopping of the (deflated) power method:")
+    points = early_stopping_path(graph, 120, seed=1)
+    picked = [points[i] for i in (0, 4, 19, 59, 119)]
+    print(
+        format_table(
+            ["iteration", "Rayleigh quotient", "|cos(angle to exact v2)|"],
+            [[p.iteration, p.rayleigh, p.alignment] for p in picked],
+        )
+    )
+    print("   -> the iteration count is a regularization parameter:\n"
+          "      early iterates are smoother, late iterates sharper.\n")
+
+
+def demo_push_truncation(graph):
+    print("3) ACL push truncation (threshold eps):")
+    points = truncation_path(graph, [0], [1e-2, 1e-3, 1e-4, 1e-5],
+                             alpha=0.15)
+    print(
+        format_table(
+            ["epsilon", "support size", "edge work",
+             "max degree-normalized error (<= eps)"],
+            [[p.epsilon, p.support_size, p.work, p.error] for p in points],
+        )
+    )
+    print("   -> smaller eps: larger support, more work, provably smaller\n"
+          "      error. The guarantee error <= eps holds on every row.\n")
+
+
+def main():
+    graph = load_graph("whiskered", seed=0)
+    print(f"Workload: whiskered expander, {graph!r}\n")
+    demo_heat_kernel_path(graph)
+    demo_early_stopping(graph)
+    demo_push_truncation(graph)
+
+
+if __name__ == "__main__":
+    main()

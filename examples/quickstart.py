@@ -1,0 +1,52 @@
+"""Quickstart: the paper's message in thirty lines.
+
+Builds a small community-structured graph, then shows the three canonical
+diffusion dynamics (Heat Kernel, PageRank, Lazy Random Walk) and verifies —
+numerically, to machine precision — that each one *exactly* solves a
+regularized version of the Fiedler-eigenvector SDP (Section 3.1 of the
+paper). Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import canonical_dynamics, format_table
+from repro.datasets import load_graph
+
+
+def main():
+    graph = load_graph("planted", seed=0)
+    print(f"Workload: planted-partition graph, {graph!r}\n")
+
+    print("The Section 3.1 theorem, checked numerically:")
+    print("each dynamics' output == the regularized SDP optimum.\n")
+    rows = []
+    for dynamics in canonical_dynamics():
+        report = dynamics.verify(graph)
+        rows.append(
+            [
+                dynamics.name,
+                report.parameter_description,
+                dynamics.regularizer,
+                report.diffusion_vs_closed_form,
+                report.kkt_residual,
+            ]
+        )
+        print(f"  * {dynamics.describe()}")
+    print()
+    print(
+        format_table(
+            ["dynamics", "parameter", "implicit regularizer G(X)",
+             "||diffusion - SDP opt||_F", "KKT residual"],
+            rows,
+            title="Equivalence check (both gap columns should be ~1e-14)",
+        )
+    )
+    worst = max(row[3] for row in rows)
+    print(f"\nLargest gap: {worst:.2e} -> the approximation algorithms ARE "
+          "regularized optimizers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Semi-supervised community recovery: optimization vs operational (§3.3).
+
+A domain scientist knows a few members of one research community in the
+synthetic AtP-DBLP network and wants the rest. The paper contrasts two
+routes:
+
+* the **optimization approach** — MOV locally-biased spectral (Problem (8)),
+  which solves a well-defined objective but touches the whole graph; and
+* the **operational approach** — ACL push, which is strongly local but whose
+  optimization problem is implicit.
+
+This example runs both from the same seeds and compares recovery quality
+(F1 against the planted community), conductance, and the amount of the
+graph each touches.
+
+Run with ``python examples/semi_supervised_seeding.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import format_table
+from repro.datasets import synthetic_atp_dblp
+from repro.partition import acl_cluster, mov_cluster
+
+
+def f1_score(predicted, truth):
+    predicted, truth = set(predicted), set(truth)
+    if not predicted or not truth:
+        return 0.0
+    tp = len(predicted & truth)
+    if tp == 0:
+        return 0.0
+    precision = tp / len(predicted)
+    recall = tp / len(truth)
+    return 2 * precision * recall / (precision + recall)
+
+
+def main():
+    dataset = synthetic_atp_dblp(scale="small", seed=5)
+    graph = dataset.graph
+    print(f"Workload: synthetic AtP-DBLP, {graph!r}\n")
+    rng = np.random.default_rng(0)
+    # Author nodes in the connected component (clusters also contain
+    # papers; recovery is scored on authors only).
+    author_nodes = set(
+        new_id for new_id, old_id in enumerate(dataset.original_ids)
+        if int(old_id) < dataset.num_authors
+    )
+    rows = []
+    for community in range(4):
+        members = dataset.community_members(community)
+        if members.size < 12:
+            continue
+        seeds = rng.choice(members, size=4, replace=False)
+        target_volume = 3.0 * float(graph.degrees[members].sum())
+
+        acl = acl_cluster(
+            graph, seeds, alpha=0.05, epsilon=1e-5,
+            max_volume=target_volume,
+        )
+        mov = mov_cluster(
+            graph, seeds, gamma_fraction=0.7, max_volume=target_volume
+        )
+        acl_authors = [u for u in acl.nodes.tolist() if u in author_nodes]
+        mov_authors = [u for u in mov.nodes.tolist() if u in author_nodes]
+        rows.append(
+            [
+                community,
+                members.size,
+                "ACL (operational)",
+                acl.nodes.size,
+                acl.conductance,
+                f1_score(acl_authors, members.tolist()),
+                acl.support_size,
+            ]
+        )
+        rows.append(
+            [
+                community,
+                members.size,
+                "MOV (optimization)",
+                mov.nodes.size,
+                mov.conductance,
+                f1_score(mov_authors, members.tolist()),
+                graph.num_nodes,  # MOV touches the whole graph
+            ]
+        )
+    print(
+        format_table(
+            ["community", "|truth|", "method", "|cluster|", "phi",
+             "F1 vs truth (authors)", "nodes touched"],
+            rows,
+            title="Semi-supervised recovery from 4 seed authors",
+        )
+    )
+    print(
+        "\n-> both recover the community; ACL touches a small fraction of\n"
+        "   the graph, MOV solves a global system (the Section 3.3 cost\n"
+        "   contrast), while MOV's objective is explicit (Problem (8))."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — Approximate Computation and Implicit Regularization.
+
+A from-scratch reproduction of Michael W. Mahoney's PODS 2012 paper
+"Approximate Computation and Implicit Regularization for Very Large-scale
+Data Analysis" (arXiv:1203.0786).
+
+Subpackages
+-----------
+``repro.graph``
+    CSR graph substrate, matrices, generators, I/O.
+``repro.linalg``
+    Power method, Lanczos, iterative solvers, expm action, sketching.
+``repro.diffusion``
+    The three canonical dynamics (heat kernel, PageRank, lazy walk) and
+    their strongly local approximations (ACL push, Nibble, HK push).
+``repro.regularization``
+    The f + λg framework, the spectral SDP, the three regularizers with
+    closed-form optima, solvers, and the equivalence verification harness.
+``repro.partition``
+    Conductance metrics, sweep cuts, spectral + multilevel + MQI + local +
+    MOV partitioners, max-flow.
+``repro.ncp``
+    Network community profiles and the Figure 1 engine.
+``repro.datasets``
+    Synthetic AtP-DBLP stand-in and the named graph suite.
+``repro.core``
+    The public implicit-regularization API and reporting.
+
+Quickstart
+----------
+>>> from repro.datasets import load_graph
+>>> from repro.core import verify_paper_theorem
+>>> graph = load_graph("planted")
+>>> reports = verify_paper_theorem(graph)   # Section 3.1, numerically
+>>> all(r.diffusion_vs_closed_form < 1e-8 for r in reports)
+True
+"""
+
+from repro import core, datasets, diffusion, graph, linalg, ncp, partition
+from repro import regularization
+from repro.core.framework import canonical_dynamics, verify_paper_theorem
+from repro.exceptions import (
+    ConvergenceError,
+    DisconnectedGraphError,
+    EmptyGraphError,
+    ExperimentError,
+    FlowError,
+    GraphError,
+    InvalidParameterError,
+    PartitionError,
+    ReproError,
+)
+from repro.graph.build import from_edges
+from repro.graph.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceError",
+    "DisconnectedGraphError",
+    "EmptyGraphError",
+    "ExperimentError",
+    "FlowError",
+    "Graph",
+    "GraphError",
+    "InvalidParameterError",
+    "PartitionError",
+    "ReproError",
+    "__version__",
+    "canonical_dynamics",
+    "core",
+    "datasets",
+    "diffusion",
+    "from_edges",
+    "graph",
+    "linalg",
+    "ncp",
+    "partition",
+    "regularization",
+    "verify_paper_theorem",
+]

@@ -1,0 +1,38 @@
+"""Core framework: the implicit-regularization API, experiment records,
+and plain-text reporting."""
+
+from repro.core.experiments import (
+    ExperimentRecord,
+    Stopwatch,
+    records_table,
+    write_record,
+)
+from repro.core.framework import (
+    ApproximateComputation,
+    canonical_dynamics,
+    get_dynamics,
+    verify_paper_theorem,
+)
+from repro.core.reporting import (
+    format_comparison_verdict,
+    format_series,
+    format_table,
+    format_value,
+    geometric_midpoints,
+)
+
+__all__ = [
+    "ApproximateComputation",
+    "ExperimentRecord",
+    "Stopwatch",
+    "canonical_dynamics",
+    "format_comparison_verdict",
+    "format_series",
+    "format_table",
+    "format_value",
+    "geometric_midpoints",
+    "get_dynamics",
+    "records_table",
+    "verify_paper_theorem",
+    "write_record",
+]

@@ -1,0 +1,104 @@
+"""Experiment records and shared drivers.
+
+Every benchmark produces an :class:`ExperimentRecord` naming the paper
+artifact it reproduces, the workload, the qualitative claim, and whether the
+measured shape agrees. ``EXPERIMENTS.md`` is assembled from these records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.reporting import format_table
+
+
+@dataclass
+class ExperimentRecord:
+    """A reproduced experiment's outcome.
+
+    Attributes
+    ----------
+    experiment_id:
+        Id from DESIGN.md's per-experiment index (e.g. ``"E1"``).
+    paper_artifact:
+        The table/figure/claim reproduced (e.g. ``"Figure 1(a)"``).
+    workload:
+        Human-readable workload description.
+    claim:
+        The qualitative claim being tested.
+    observed:
+        What was measured.
+    shape_matches:
+        Whether the measured shape agrees with the paper.
+    details:
+        Free-form metrics (numbers backing the verdict).
+    seconds:
+        Wall time of the run.
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    workload: str
+    claim: str
+    observed: str
+    shape_matches: bool
+    details: dict = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def summary_row(self):
+        return [
+            self.experiment_id,
+            self.paper_artifact,
+            "MATCH" if self.shape_matches else "MISMATCH",
+            self.observed,
+        ]
+
+    def to_json(self):
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "paper_artifact": self.paper_artifact,
+                "workload": self.workload,
+                "claim": self.claim,
+                "observed": self.observed,
+                "shape_matches": self.shape_matches,
+                "details": self.details,
+                "seconds": self.seconds,
+            },
+            indent=2,
+            default=str,
+        )
+
+
+class Stopwatch:
+    """Context manager measuring wall time into ``.seconds``."""
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info):
+        self.seconds = time.perf_counter() - self._start
+        return False
+
+
+def records_table(records):
+    """Summary table over several experiment records."""
+    return format_table(
+        ["id", "artifact", "shape", "observed"],
+        [r.summary_row() for r in records],
+        title="Reproduction summary",
+    )
+
+
+def write_record(record, directory):
+    """Persist a record as ``<directory>/<experiment_id>.json``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{record.experiment_id}.json"
+    target.write_text(record.to_json(), encoding="utf-8")
+    return target

@@ -1,0 +1,70 @@
+"""Plain-text reporting: the tables and series every benchmark prints.
+
+The benchmark harness regenerates the paper's figure panels as aligned ASCII
+tables (series of Y values over log-spaced X buckets), so "who wins, by
+roughly what factor, where crossovers fall" is readable directly from
+``pytest benchmarks/ --benchmark-only`` output and from ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def format_value(value, *, precision=4):
+    """Format one cell: floats compactly, NaN/inf visibly, rest via str."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "--"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    if isinstance(value, (np.floating,)):
+        return format_value(float(value), precision=precision)
+    return str(value)
+
+
+def format_table(headers, rows, *, title=None, precision=4):
+    """Render an aligned ASCII table as a single string."""
+    cells = [[format_value(v, precision=precision) for v in row]
+             for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(xs, ys_by_label, *, x_label="x", title=None, precision=4):
+    """Render parallel series (one column per label) over shared X values."""
+    labels = list(ys_by_label)
+    headers = [x_label] + labels
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [ys_by_label[label][i] for label in labels])
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_comparison_verdict(description, expected, observed):
+    """One-line PASS/FAIL verdict for a qualitative shape claim."""
+    status = "PASS" if expected == observed else "FAIL"
+    return f"[{status}] {description}: expected {expected}, observed {observed}"
+
+
+def geometric_midpoints(edges):
+    """Geometric midpoints of consecutive bucket edges (for log-bucket X)."""
+    edges = np.asarray(edges, dtype=float)
+    return np.sqrt(edges[:-1] * edges[1:])

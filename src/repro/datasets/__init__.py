@@ -1,0 +1,20 @@
+"""Synthetic datasets: the AtP-DBLP stand-in and the named graph suite."""
+
+from repro.datasets.suite import describe, load_graph, load_suite, suite_names
+from repro.datasets.synthetic_dblp import (
+    AtPDataset,
+    attach_whisker_chains,
+    synthetic_atp_dblp,
+    synthetic_coauthorship,
+)
+
+__all__ = [
+    "AtPDataset",
+    "attach_whisker_chains",
+    "describe",
+    "load_graph",
+    "load_suite",
+    "suite_names",
+    "synthetic_atp_dblp",
+    "synthetic_coauthorship",
+]

@@ -1,0 +1,94 @@
+"""The named graph suite used across tests, examples, and benchmarks.
+
+Each entry pairs a generator with the role it plays in the paper's story:
+expanders are flow's worst case, stringy graphs are spectral's worst case,
+planted-community graphs have ground truth, and the AtP stand-in is the
+Figure 1 workload. Keeping the suite in one place makes every experiment's
+workload reproducible by name.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic_dblp import synthetic_atp_dblp
+from repro.graph.generators import (
+    barbell_graph,
+    grid_graph,
+    lollipop_graph,
+    ring_of_cliques,
+    roach_graph,
+)
+from repro.graph.random_generators import (
+    planted_partition_graph,
+    random_regular_graph,
+    whiskered_expander,
+)
+
+
+def _atp(seed):
+    return synthetic_atp_dblp(scale="small", seed=seed).graph
+
+
+_SUITE = {
+    # name: (builder(seed) -> Graph, role)
+    "barbell": (
+        lambda seed: barbell_graph(16, 2),
+        "two dense cores, one planted cut (oracle graph)",
+    ),
+    "lollipop": (
+        lambda seed: lollipop_graph(16, 32),
+        "clique + long path: early-stopping and MQI stress input",
+    ),
+    "roach": (
+        lambda seed: roach_graph(16, 16),
+        "Guattery–Miller: spectral saturates the Cheeger quadratic",
+    ),
+    "grid": (
+        lambda seed: grid_graph(16, 16),
+        "manifold discretization; spectral-friendly geometry",
+    ),
+    "expander": (
+        lambda seed: random_regular_graph(256, 4, seed=seed),
+        "constant-degree expander: flow pays O(log n)",
+    ),
+    "whiskered": (
+        lambda seed: whiskered_expander(200, 4, 20, 8, seed=seed),
+        "expander core + stringy whiskers: the social-graph cartoon",
+    ),
+    "planted": (
+        lambda seed: planted_partition_graph(8, 32, 0.3, 0.01, seed=seed),
+        "planted communities with known conductance scale",
+    ),
+    "atp": (
+        _atp,
+        "synthetic AtP-DBLP stand-in (the Figure 1 workload)",
+    ),
+}
+
+
+def suite_names():
+    """Names of all suite graphs."""
+    return sorted(_SUITE)
+
+
+def load_graph(name, seed=0):
+    """Build a suite graph by name (largest component, deterministic)."""
+    if name not in _SUITE:
+        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
+    builder, _role = _SUITE[name]
+    graph = builder(seed)
+    if not graph.is_connected():
+        graph, _ = graph.largest_component()
+    return graph
+
+
+def describe(name):
+    """Human-readable role of a suite graph."""
+    if name not in _SUITE:
+        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
+    return _SUITE[name][1]
+
+
+def load_suite(seed=0, *, names=None):
+    """Build several suite graphs; returns ``{name: graph}``."""
+    chosen = suite_names() if names is None else list(names)
+    return {name: load_graph(name, seed=seed) for name in chosen}

@@ -1,0 +1,81 @@
+"""The paper's three canonical diffusion dynamics and their strongly local
+approximations: heat kernel, PageRank, lazy random walk; ACL push,
+Spielman–Teng truncated walks, heat-kernel push."""
+
+from repro.diffusion.heat_kernel import (
+    heat_kernel_matrix,
+    heat_kernel_profile,
+    heat_kernel_vector,
+)
+from repro.diffusion.hk_push import (
+    HeatKernelPushResult,
+    heat_kernel_push,
+    poisson_tail,
+    terms_for_tail,
+)
+from repro.diffusion.lazy_walk import (
+    lazy_walk_matrix_power_dense,
+    lazy_walk_trajectory,
+    lazy_walk_vector,
+    mixing_time,
+)
+from repro.diffusion.pagerank import (
+    global_pagerank,
+    lazy_equivalent_gamma,
+    lazy_pagerank_exact,
+    pagerank_exact,
+    pagerank_operator,
+    pagerank_power,
+    pagerank_resolvent_dense,
+)
+from repro.diffusion.push import (
+    PushResult,
+    approximate_ppr_push,
+    push_invariant_residual,
+)
+from repro.diffusion.seeds import (
+    degree_seed,
+    degree_weighted_indicator_seed,
+    indicator_seed,
+    random_sign_seed,
+    random_unit_seed,
+    uniform_seed,
+)
+from repro.diffusion.truncated_walk import (
+    TruncatedWalkResult,
+    truncated_lazy_walk,
+    untruncated_lazy_walk,
+)
+
+__all__ = [
+    "HeatKernelPushResult",
+    "PushResult",
+    "TruncatedWalkResult",
+    "approximate_ppr_push",
+    "degree_seed",
+    "degree_weighted_indicator_seed",
+    "global_pagerank",
+    "heat_kernel_matrix",
+    "heat_kernel_profile",
+    "heat_kernel_push",
+    "heat_kernel_vector",
+    "indicator_seed",
+    "lazy_equivalent_gamma",
+    "lazy_pagerank_exact",
+    "lazy_walk_matrix_power_dense",
+    "lazy_walk_trajectory",
+    "lazy_walk_vector",
+    "mixing_time",
+    "pagerank_exact",
+    "pagerank_operator",
+    "pagerank_power",
+    "pagerank_resolvent_dense",
+    "poisson_tail",
+    "push_invariant_residual",
+    "random_sign_seed",
+    "random_unit_seed",
+    "terms_for_tail",
+    "truncated_lazy_walk",
+    "uniform_seed",
+    "untruncated_lazy_walk",
+]

@@ -1,0 +1,168 @@
+"""Strongly local heat-kernel diffusion (truncated-Taylor push, after [15]).
+
+Section 3.3 cites Chung's heat-kernel PageRank [15] as the third strongly
+local procedure ("runs a modified heat kernel procedure"). We implement the
+truncated-Taylor variant: the random-walk heat kernel
+
+    h_t(s) = exp(-t (I − M)) s = e^{-t} Σ_{k≥0} (t^k / k!) M^k s
+
+is evaluated stage by stage, with each stage's vector rounded by the same
+degree-normalized rule the other local methods use. Rounding keeps every
+stage supported near the seed, so the cost depends on the support volume —
+not on ``n`` — at the price of a bias toward the seed: the implicit
+regularization of Section 3.3.
+
+Error accounting: dropping mass ``δ_k`` at stage ``k`` perturbs the final
+answer by at most ``Σ_k δ_k`` in ℓ1 (each later stage is a substochastic
+image of the dropped mass), and truncating the series at ``N`` terms adds the
+Poisson tail ``Σ_{k>N} e^{-t} t^k / k!``. Both are returned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    check_int,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class HeatKernelPushResult:
+    """Output of the truncated-Taylor heat-kernel approximation.
+
+    Attributes
+    ----------
+    approximation:
+        Approximate ``exp(-t (I − M)) s``.
+    t:
+        Diffusion time.
+    num_terms:
+        Taylor stages evaluated.
+    dropped_mass:
+        Total ℓ1 mass removed by rounding (an upper bound on the rounding
+        error of the final vector).
+    tail_bound:
+        Poisson tail mass of the untruncated series beyond ``num_terms``.
+    touched:
+        Sorted array of nodes ever assigned nonzero charge.
+    work:
+        Total edge traversals performed.
+    """
+
+    approximation: np.ndarray
+    t: float
+    num_terms: int
+    dropped_mass: float
+    tail_bound: float
+    touched: np.ndarray
+    work: int
+
+
+def poisson_tail(t, num_terms):
+    """Tail mass ``Σ_{k > num_terms} e^{-t} t^k / k!`` of Poisson(t)."""
+    t = check_positive(t, "t", allow_zero=True)
+    num_terms = check_int(num_terms, "num_terms", minimum=0)
+    term = math.exp(-t)
+    cumulative = term
+    for k in range(1, num_terms + 1):
+        term *= t / k
+        cumulative += term
+    return max(0.0, 1.0 - cumulative)
+
+
+def terms_for_tail(t, tol):
+    """Smallest ``N`` with Poisson tail beyond ``N`` at most ``tol``."""
+    t = check_positive(t, "t", allow_zero=True)
+    tol = check_positive(tol, "tol")
+    term = math.exp(-t)
+    cumulative = term
+    k = 0
+    while 1.0 - cumulative > tol:
+        k += 1
+        term *= t / k
+        cumulative += term
+        if k > 100_000:
+            raise InvalidParameterError("t too large for series evaluation")
+    return max(k, 1)
+
+
+def heat_kernel_push(graph, seed_vector, t, *, epsilon=1e-4, num_terms=None,
+                     tail_tol=1e-6):
+    """Strongly local approximation to ``exp(-t (I − M)) s``.
+
+    Parameters
+    ----------
+    graph:
+        Graph with positive degrees.
+    seed_vector:
+        Nonnegative seed (typically an indicator distribution).
+    t:
+        Diffusion time.
+    epsilon:
+        Degree-normalized rounding threshold applied to every Taylor stage.
+    num_terms:
+        Taylor truncation order; chosen from ``tail_tol`` when omitted.
+    tail_tol:
+        Target Poisson tail when ``num_terms`` is omitted.
+
+    Returns
+    -------
+    HeatKernelPushResult
+    """
+    t = check_positive(t, "t", allow_zero=True)
+    epsilon = check_probability(epsilon, "epsilon")
+    seed = check_vector(seed_vector, graph.num_nodes, "seed_vector")
+    if np.any(seed < 0):
+        raise InvalidParameterError("heat-kernel push needs nonnegative seed")
+    degrees = graph.degrees
+    if np.any(degrees <= 0):
+        raise InvalidParameterError("heat-kernel push needs positive degrees")
+    if num_terms is None:
+        num_terms = terms_for_tail(t, tail_tol)
+    num_terms = check_int(num_terms, "num_terms", minimum=1)
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    dropped = 0.0
+    work = 0
+    touched_mask = np.zeros(graph.num_nodes, dtype=bool)
+
+    def rounded(vector):
+        nonlocal dropped
+        keep = vector >= epsilon * degrees
+        dropped += float(vector[~keep & (vector > 0)].sum())
+        return np.where(keep, vector, 0.0)
+
+    stage = rounded(seed.copy())
+    touched_mask |= stage > 0
+    weight = math.exp(-t)
+    accumulated = weight * stage
+    for k in range(1, num_terms + 1):
+        new_stage = np.zeros_like(stage)
+        support = np.flatnonzero(stage)
+        for u in support:
+            flow = stage[u] / degrees[u]
+            start, stop = indptr[u], indptr[u + 1]
+            work += 1 + (stop - start)
+            for idx in range(start, stop):
+                new_stage[indices[idx]] += flow * weights[idx]
+        stage = rounded(new_stage)
+        touched_mask |= stage > 0
+        weight *= t / k
+        accumulated += weight * stage
+    return HeatKernelPushResult(
+        approximation=accumulated,
+        t=t,
+        num_terms=num_terms,
+        dropped_mass=dropped,
+        tail_bound=poisson_tail(t, num_terms),
+        touched=np.flatnonzero(touched_mask),
+        work=int(work),
+    )

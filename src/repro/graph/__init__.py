@@ -1,0 +1,41 @@
+"""Graph substrate: data structure, builders, matrices, generators, I/O."""
+
+from repro.graph.build import (
+    empty_graph,
+    from_dense,
+    from_edges,
+    from_scipy_sparse,
+    union_disjoint,
+)
+from repro.graph.graph import Graph
+from repro.graph.matrices import (
+    adjacency_matrix,
+    combinatorial_laplacian,
+    degree_matrix,
+    degree_vector,
+    laplacian_quadratic_form,
+    lazy_walk_matrix,
+    normalized_laplacian,
+    random_walk_matrix,
+    rayleigh_quotient,
+    trivial_eigenvector,
+)
+
+__all__ = [
+    "Graph",
+    "empty_graph",
+    "from_dense",
+    "from_edges",
+    "from_scipy_sparse",
+    "union_disjoint",
+    "adjacency_matrix",
+    "combinatorial_laplacian",
+    "degree_matrix",
+    "degree_vector",
+    "laplacian_quadratic_form",
+    "lazy_walk_matrix",
+    "normalized_laplacian",
+    "random_walk_matrix",
+    "rayleigh_quotient",
+    "trivial_eigenvector",
+]

@@ -1,0 +1,187 @@
+"""Constructors that build :class:`~repro.graph.graph.Graph` objects.
+
+These builders are the supported way to create graphs. They normalize
+arbitrary edge lists (either endpoint order, duplicates, explicit weights)
+into the validated CSR form the rest of the library relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+
+def from_edges(num_nodes, edges, weights=None, *, combine="sum"):
+    """Build a graph from an undirected edge list.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; node ids must lie in ``[0, n)``.
+    edges:
+        Iterable of ``(u, v)`` pairs, or an ``(m, 2)`` array. Each pair is an
+        undirected edge; order of endpoints does not matter.
+    weights:
+        Optional per-edge positive weights aligned with ``edges``. Defaults
+        to ``1.0`` for every edge.
+    combine:
+        How to merge duplicate edges: ``"sum"`` (default), ``"max"``, or
+        ``"error"`` to reject duplicates.
+
+    Returns
+    -------
+    Graph
+
+    Raises
+    ------
+    GraphError
+        On self-loops, out-of-range ids, nonpositive weights, or duplicates
+        when ``combine="error"``.
+    """
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be >= 0; got {num_nodes}")
+    edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if edge_arr.size == 0:
+        edge_arr = edge_arr.reshape(0, 2)
+    if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+        raise GraphError(f"edges must be (m, 2)-shaped; got {edge_arr.shape}")
+    if not np.issubdtype(edge_arr.dtype, np.integer):
+        as_int = edge_arr.astype(np.int64)
+        if not np.array_equal(as_int, edge_arr):
+            raise GraphError("edge endpoints must be integers")
+        edge_arr = as_int
+    edge_arr = edge_arr.astype(np.int64, copy=False)
+    m = edge_arr.shape[0]
+    if weights is None:
+        weight_arr = np.ones(m)
+    else:
+        weight_arr = np.asarray(weights, dtype=float)
+        if weight_arr.shape != (m,):
+            raise GraphError(
+                f"weights must have shape ({m},); got {weight_arr.shape}"
+            )
+    if m:
+        if edge_arr.min() < 0 or edge_arr.max() >= num_nodes:
+            raise GraphError(f"edge endpoints must lie in [0, {num_nodes})")
+        if np.any(edge_arr[:, 0] == edge_arr[:, 1]):
+            raise GraphError("self-loops are not allowed")
+        if np.any(weight_arr <= 0) or not np.all(np.isfinite(weight_arr)):
+            raise GraphError("edge weights must be positive and finite")
+
+    lo = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+    hi = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+    key = lo * np.int64(num_nodes) + hi
+    unique_key, inverse = np.unique(key, return_inverse=True)
+    if unique_key.size != key.size:
+        if combine == "error":
+            raise GraphError("duplicate edges present and combine='error'")
+        if combine == "sum":
+            merged = np.zeros(unique_key.size)
+            np.add.at(merged, inverse, weight_arr)
+        elif combine == "max":
+            merged = np.full(unique_key.size, -np.inf)
+            np.maximum.at(merged, inverse, weight_arr)
+        else:
+            raise GraphError(f"unknown combine mode {combine!r}")
+        weight_arr = merged
+    else:
+        order = np.argsort(key)
+        unique_key = key[order]
+        weight_arr = weight_arr[order]
+    lo = unique_key // num_nodes if num_nodes else unique_key
+    hi = unique_key % num_nodes if num_nodes else unique_key
+    return _from_unique_undirected(num_nodes, lo, hi, weight_arr)
+
+
+def _from_unique_undirected(num_nodes, lo, hi, weights):
+    """Assemble CSR arrays from deduplicated edges with ``lo < hi``."""
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    wts = np.concatenate([weights, weights])
+    order = np.lexsort((dst, src))
+    src, dst, wts = src[order], dst[order], wts[order]
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return Graph(indptr, dst, wts, validate=False)
+
+
+def from_dense(matrix, *, tol=0.0):
+    """Build a graph from a dense symmetric adjacency matrix.
+
+    Entries with absolute value ``<= tol`` are treated as absent. The matrix
+    must be square, symmetric, have a zero diagonal, and nonnegative entries.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise GraphError(f"adjacency matrix must be square; got {arr.shape}")
+    if not np.allclose(arr, arr.T):
+        raise GraphError("adjacency matrix must be symmetric")
+    if np.any(np.abs(np.diag(arr)) > tol):
+        raise GraphError("adjacency matrix must have a zero diagonal")
+    if np.any(arr < -tol):
+        raise GraphError("adjacency entries must be nonnegative")
+    n = arr.shape[0]
+    iu, ju = np.triu_indices(n, k=1)
+    mask = arr[iu, ju] > tol
+    return from_edges(
+        n,
+        np.stack([iu[mask], ju[mask]], axis=1),
+        arr[iu, ju][mask],
+        combine="error",
+    )
+
+
+def from_scipy_sparse(matrix, *, tol=0.0):
+    """Build a graph from a scipy sparse symmetric adjacency matrix."""
+    from scipy import sparse
+
+    if not sparse.issparse(matrix):
+        raise GraphError("from_scipy_sparse expects a scipy sparse matrix")
+    coo = matrix.tocoo()
+    if coo.shape[0] != coo.shape[1]:
+        raise GraphError(f"adjacency matrix must be square; got {coo.shape}")
+    mask = (coo.row < coo.col) & (np.abs(coo.data) > tol)
+    edges = np.stack([coo.row[mask], coo.col[mask]], axis=1)
+    weights = coo.data[mask].astype(float)
+    lower = (coo.row > coo.col) & (np.abs(coo.data) > tol)
+    if int(lower.sum()) != edges.shape[0]:
+        raise GraphError("sparse adjacency matrix must be symmetric")
+    if np.any(np.abs(coo.data[coo.row == coo.col]) > tol):
+        raise GraphError("adjacency matrix must have a zero diagonal")
+    return from_edges(coo.shape[0], edges, weights, combine="sum")
+
+
+def empty_graph(num_nodes):
+    """A graph with ``num_nodes`` isolated nodes and no edges."""
+    return from_edges(num_nodes, [])
+
+
+def union_disjoint(first, second, bridge_edges=(), bridge_weights=None):
+    """Disjoint union of two graphs, optionally bridged.
+
+    ``second``'s node ids are shifted by ``first.num_nodes``. Each entry of
+    ``bridge_edges`` is ``(u_in_first, v_in_second)`` in the *original* ids of
+    the respective graphs.
+    """
+    offset = first.num_nodes
+    us1, vs1, ws1 = first.edge_array()
+    us2, vs2, ws2 = second.edge_array()
+    bridge = np.asarray(list(bridge_edges), dtype=np.int64).reshape(-1, 2)
+    if bridge_weights is None:
+        bw = np.ones(bridge.shape[0])
+    else:
+        bw = np.asarray(bridge_weights, dtype=float)
+    edges = np.concatenate(
+        [
+            np.stack([us1, vs1], axis=1),
+            np.stack([us2 + offset, vs2 + offset], axis=1),
+            np.stack([bridge[:, 0], bridge[:, 1] + offset], axis=1)
+            if bridge.size
+            else np.empty((0, 2), dtype=np.int64),
+        ]
+    )
+    weights = np.concatenate([ws1, ws2, bw])
+    return from_edges(offset + second.num_nodes, edges, weights, combine="error")

@@ -1,0 +1,100 @@
+"""Graph serialization: edge-list text files and JSON documents.
+
+Formats
+-------
+Edge list (``.tsv``-style): one edge per line, ``u<TAB>v[<TAB>weight]``,
+lines starting with ``#`` ignored. The node count is ``max id + 1`` unless
+given explicitly.
+
+JSON: ``{"num_nodes": n, "edges": [[u, v, w], ...]}``. Round-trips exactly
+(weights are floats).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edges
+
+
+def write_edge_list(graph, path, *, write_weights=True):
+    """Write the graph as an edge-list text file."""
+    path = Path(path)
+    lines = [f"# repro graph: {graph.num_nodes} nodes, {graph.num_edges} edges"]
+    for u, v, w in graph.edges():
+        if write_weights:
+            lines.append(f"{u}\t{v}\t{w!r}")
+        else:
+            lines.append(f"{u}\t{v}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path, *, num_nodes=None):
+    """Read a graph from an edge-list text file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    num_nodes:
+        Optional explicit node count (must cover every id in the file);
+        defaults to ``max id + 1``.
+    """
+    path = Path(path)
+    edges, weights = [], []
+    max_id = -1
+    for line_no, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError(
+                f"{path}:{line_no}: expected 'u v [weight]'; got {raw!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError as exc:
+            raise GraphError(f"{path}:{line_no}: unparseable edge {raw!r}") from exc
+        edges.append((u, v))
+        weights.append(w)
+        max_id = max(max_id, u, v)
+    n = num_nodes if num_nodes is not None else max_id + 1
+    if n <= max_id:
+        raise GraphError(
+            f"num_nodes={n} does not cover max node id {max_id} in {path}"
+        )
+    return from_edges(max(n, 0), edges, weights)
+
+
+def to_json_document(graph):
+    """Serialize the graph to a JSON-compatible dict."""
+    return {
+        "num_nodes": graph.num_nodes,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+
+
+def from_json_document(document):
+    """Deserialize a graph from :func:`to_json_document` output."""
+    try:
+        n = int(document["num_nodes"])
+        raw_edges = document["edges"]
+    except (KeyError, TypeError) as exc:
+        raise GraphError("JSON document must have num_nodes and edges") from exc
+    edges = [(int(e[0]), int(e[1])) for e in raw_edges]
+    weights = [float(e[2]) if len(e) > 2 else 1.0 for e in raw_edges]
+    return from_edges(n, edges, weights)
+
+
+def write_json(graph, path):
+    """Write the graph as a JSON file."""
+    Path(path).write_text(json.dumps(to_json_document(graph)), encoding="utf-8")
+
+
+def read_json(path):
+    """Read a graph from a JSON file written by :func:`write_json`."""
+    return from_json_document(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,68 @@
+"""Numerical linear algebra built from matvecs: power method, Lanczos,
+iterative solvers, matrix-exponential action, Fiedler drivers, sketching."""
+
+from repro.linalg.expm import (
+    expm_action_lanczos,
+    expm_action_taylor,
+    heat_kernel_dense,
+    taylor_terms_for_tolerance,
+)
+from repro.linalg.fiedler import (
+    fiedler_embedding,
+    fiedler_pair,
+    fiedler_value,
+    fiedler_vector,
+)
+from repro.linalg.lanczos import (
+    LanczosDecomposition,
+    lanczos,
+    lanczos_extreme_eigenpairs,
+)
+from repro.linalg.power import (
+    PowerMethodResult,
+    power_method,
+    power_method_trajectory,
+)
+from repro.linalg.sketch import (
+    SketchedLeastSquaresResult,
+    gaussian_sketch,
+    randomized_svd,
+    sketched_least_squares,
+    sparse_sign_sketch,
+)
+from repro.linalg.solvers import (
+    SolveResult,
+    chebyshev,
+    conjugate_gradient,
+    gauss_seidel,
+    jacobi,
+    richardson,
+)
+
+__all__ = [
+    "LanczosDecomposition",
+    "PowerMethodResult",
+    "SketchedLeastSquaresResult",
+    "SolveResult",
+    "chebyshev",
+    "conjugate_gradient",
+    "expm_action_lanczos",
+    "expm_action_taylor",
+    "fiedler_embedding",
+    "fiedler_pair",
+    "fiedler_value",
+    "fiedler_vector",
+    "gauss_seidel",
+    "gaussian_sketch",
+    "heat_kernel_dense",
+    "jacobi",
+    "lanczos",
+    "lanczos_extreme_eigenpairs",
+    "power_method",
+    "power_method_trajectory",
+    "randomized_svd",
+    "richardson",
+    "sketched_least_squares",
+    "sparse_sign_sketch",
+    "taylor_terms_for_tolerance",
+]

@@ -1,0 +1,115 @@
+"""Fiedler vectors: the leading nontrivial eigenvector of Problem (3).
+
+The object of Section 3.1 is ``v2``, the eigenvector of the normalized
+Laplacian 𝓛 attached to its smallest nonzero eigenvalue λ2, i.e. the
+minimizer of the Rayleigh quotient over vectors orthogonal to the trivial
+eigenvector ``D^{1/2} 1``. Three routes are provided, mirroring the paper's
+discussion of exact vs. approximate pipelines:
+
+* ``method="exact"`` — dense eigendecomposition (the "black-box solver" of
+  small/medium-scale practice; O(n^3), used as the oracle);
+* ``method="lanczos"`` — Krylov approximation (default);
+* ``method="power"`` — power method on the spectrum-flipped operator
+  ``2I - 𝓛`` with the trivial eigenvector deflated, the Web-scale route.
+
+Conventions: :func:`fiedler_vector` returns the unit eigenvector ``x`` of 𝓛;
+:func:`fiedler_embedding` returns ``y = D^{-1/2} x``, the generalized
+eigenvector of ``L y = λ D y`` whose coordinate order drives sweep cuts
+(footnote 13 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import (
+    DisconnectedGraphError,
+    EmptyGraphError,
+    InvalidParameterError,
+)
+from repro.graph.matrices import normalized_laplacian, trivial_eigenvector
+from repro.linalg.lanczos import lanczos_extreme_eigenpairs
+from repro.linalg.power import power_method
+
+
+def fiedler_pair(graph, *, method="lanczos", tol=1e-10, max_iterations=50_000,
+                 seed=None):
+    """Return ``(λ2, x)`` for the normalized Laplacian of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        A connected graph with positive degrees.
+    method:
+        ``"exact"``, ``"lanczos"``, or ``"power"``.
+    tol, max_iterations, seed:
+        Forwarded to the iterative methods.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the graph is not connected (λ2 = 0 and v2 is not unique — the
+        problem is ill-posed, in the paper's Section 2.2 sense).
+    """
+    if graph.num_nodes < 2:
+        raise EmptyGraphError("Fiedler vector needs at least 2 nodes")
+    if not graph.is_connected():
+        raise DisconnectedGraphError(
+            "Fiedler vector of a disconnected graph is not well-posed"
+        )
+    laplacian = normalized_laplacian(graph)
+    trivial = trivial_eigenvector(graph)
+    n = graph.num_nodes
+    if method == "exact":
+        values, vectors = np.linalg.eigh(laplacian.toarray())
+        # The smallest eigenvalue is 0 (trivial); take the next one.
+        x = vectors[:, 1]
+        lam = float(values[1])
+    elif method == "lanczos":
+        values, vectors = lanczos_extreme_eigenpairs(
+            laplacian, n, 1, which="smallest",
+            num_steps=min(n, max(60, int(4 * np.sqrt(n)))),
+            deflate=[trivial], seed=seed,
+        )
+        lam, x = float(values[0]), vectors[:, 0]
+    elif method == "power":
+        # Flip the spectrum: 𝓛 has eigenvalues in [0, 2], so 2I - 𝓛 has the
+        # Fiedler direction as its dominant eigenvector once the trivial
+        # direction is deflated.
+        def flipped(vector):
+            return 2.0 * vector - laplacian @ vector
+
+        result = power_method(
+            flipped, n, deflate=[trivial], tol=tol,
+            max_iterations=max_iterations, seed=seed,
+        )
+        x = result.eigenvector
+        lam = 2.0 - result.eigenvalue
+    else:
+        raise InvalidParameterError(
+            f"method must be 'exact', 'lanczos', or 'power'; got {method!r}"
+        )
+    # Deterministic sign: make the first nonzero coordinate positive.
+    nonzero = np.flatnonzero(np.abs(x) > 1e-12)
+    if nonzero.size and x[nonzero[0]] < 0:
+        x = -x
+    # Enforce the constraint x ⟂ D^{1/2} 1 exactly.
+    x = x - (trivial @ x) * trivial
+    x = x / np.linalg.norm(x)
+    return lam, x
+
+
+def fiedler_vector(graph, *, method="lanczos", tol=1e-10, seed=None):
+    """Unit Fiedler eigenvector ``x`` of the normalized Laplacian."""
+    return fiedler_pair(graph, method=method, tol=tol, seed=seed)[1]
+
+
+def fiedler_value(graph, *, method="lanczos", tol=1e-10, seed=None):
+    """The eigenvalue λ2 of the normalized Laplacian."""
+    return fiedler_pair(graph, method=method, tol=tol, seed=seed)[0]
+
+
+def fiedler_embedding(graph, *, method="lanczos", tol=1e-10, seed=None):
+    """Generalized Fiedler vector ``y = D^{-1/2} x`` used for sweep cuts."""
+    x = fiedler_vector(graph, method=method, tol=tol, seed=seed)
+    return x / np.sqrt(graph.degrees)

@@ -1,0 +1,211 @@
+"""The Power Method and deflated variants.
+
+Section 3.1 of the paper singles out the Power Method as the canonical
+Web-scale eigenvector algorithm: it needs only sparse matrix–vector products,
+parallelizes trivially, and — the paper's central point — *truncating it
+early is an implicit regularizer* (footnote 15 and Section 2.3). The
+implementation therefore records the full iterate trajectory on request, so
+the early-stopping experiments (E10) can study intermediate iterates, not
+just the converged answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import as_rng, check_int, check_positive
+from repro.exceptions import ConvergenceError, InvalidParameterError
+
+
+@dataclass
+class PowerMethodResult:
+    """Outcome of a power-method run.
+
+    Attributes
+    ----------
+    eigenvalue:
+        Final Rayleigh-quotient estimate.
+    eigenvector:
+        Final unit-norm iterate.
+    iterations:
+        Number of matrix–vector products performed.
+    converged:
+        Whether the iterate change fell below the tolerance.
+    residual:
+        Final ``||A v - λ v||_2``.
+    eigenvalue_history:
+        Rayleigh quotient after each iteration.
+    iterate_history:
+        Unit iterates after each iteration (present only when
+        ``keep_iterates=True`` was requested).
+    """
+
+    eigenvalue: float
+    eigenvector: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    eigenvalue_history: list = field(default_factory=list)
+    iterate_history: list = field(default_factory=list)
+
+
+def _as_matvec(operator):
+    """Accept a sparse/dense matrix or a callable as the operator."""
+    if callable(operator) and not hasattr(operator, "__matmul__"):
+        return operator
+    if hasattr(operator, "dot"):
+        return lambda x: operator @ x
+    if callable(operator):
+        return operator
+    raise InvalidParameterError(
+        "operator must be a matrix-like object or a callable"
+    )
+
+
+def _project_out(vector, deflate):
+    """Orthogonalize ``vector`` against each unit vector in ``deflate``."""
+    for basis in deflate:
+        vector = vector - (basis @ vector) * basis
+    return vector
+
+
+def power_method(
+    operator,
+    n,
+    *,
+    x0=None,
+    deflate=(),
+    tol=1e-10,
+    max_iterations=10_000,
+    seed=None,
+    keep_iterates=False,
+    raise_on_failure=True,
+):
+    """Run the power method on a symmetric operator.
+
+    Parameters
+    ----------
+    operator:
+        Symmetric ``(n, n)`` matrix (dense, sparse) or a matvec callable.
+    n:
+        Dimension.
+    x0:
+        Starting vector; random Gaussian when omitted.
+    deflate:
+        Sequence of unit-norm vectors to project out at every step (e.g. the
+        trivial eigenvector ``D^{1/2} 1`` of the normalized Laplacian, which
+        implements the ``x ⟂ D^{1/2} 1`` constraint of Problem (3)).
+    tol:
+        Convergence tolerance on the iterate change ``||v_{t+1} - ± v_t||``.
+    max_iterations:
+        Iteration cap.
+    seed:
+        RNG seed for the random start.
+    keep_iterates:
+        Record every unit iterate (memory ``O(n * iterations)``); used by the
+        early-stopping experiments.
+    raise_on_failure:
+        When true (default), raise :class:`ConvergenceError` if the tolerance
+        is not met; otherwise return the best iterate with
+        ``converged=False``.
+
+    Returns
+    -------
+    PowerMethodResult
+    """
+    n = check_int(n, "n", minimum=1)
+    tol = check_positive(tol, "tol")
+    max_iterations = check_int(max_iterations, "max_iterations", minimum=1)
+    matvec = _as_matvec(operator)
+    deflate = [np.asarray(b, dtype=float) for b in deflate]
+    for basis in deflate:
+        if basis.shape != (n,):
+            raise InvalidParameterError(
+                f"deflation vectors must have shape ({n},)"
+            )
+    rng = as_rng(seed)
+    if x0 is None:
+        vector = rng.standard_normal(n)
+    else:
+        vector = np.array(x0, dtype=float)
+        if vector.shape != (n,):
+            raise InvalidParameterError(f"x0 must have shape ({n},)")
+    original_norm = np.linalg.norm(vector)
+    vector = _project_out(vector, deflate)
+    norm = np.linalg.norm(vector)
+    if norm <= 1e-12 * max(original_norm, 1.0):
+        raise InvalidParameterError(
+            "starting vector lies entirely in the deflated subspace"
+        )
+    vector /= norm
+
+    eigenvalue_history = []
+    iterate_history = []
+    eigenvalue = 0.0
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        image = matvec(vector)
+        image = _project_out(np.asarray(image, dtype=float), deflate)
+        norm = np.linalg.norm(image)
+        if norm == 0:
+            # The iterate is (numerically) in the kernel; the eigenvalue is 0.
+            eigenvalue = 0.0
+            converged = True
+            break
+        new_vector = image / norm
+        eigenvalue = float(vector @ matvec(vector))
+        eigenvalue_history.append(eigenvalue)
+        if keep_iterates:
+            iterate_history.append(new_vector.copy())
+        delta = min(
+            np.linalg.norm(new_vector - vector),
+            np.linalg.norm(new_vector + vector),
+        )
+        vector = new_vector
+        if delta < tol:
+            converged = True
+            break
+    eigenvalue = float(vector @ matvec(vector))
+    residual = float(np.linalg.norm(matvec(vector) - eigenvalue * vector))
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"power method did not converge in {max_iterations} iterations "
+            f"(residual {residual:.3e})",
+            iterations=iterations,
+            residual=residual,
+        )
+    return PowerMethodResult(
+        eigenvalue=eigenvalue,
+        eigenvector=vector,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        eigenvalue_history=eigenvalue_history,
+        iterate_history=iterate_history,
+    )
+
+
+def power_method_trajectory(operator, n, num_iterations, *, x0=None,
+                            deflate=(), seed=None):
+    """Return the first ``num_iterations`` unit iterates of the power method.
+
+    A thin wrapper over :func:`power_method` with no convergence test, used
+    by experiment E10 to treat "number of iterations" as a regularization
+    parameter.
+    """
+    num_iterations = check_int(num_iterations, "num_iterations", minimum=1)
+    result = power_method(
+        operator,
+        n,
+        x0=x0,
+        deflate=deflate,
+        tol=1e-300,
+        max_iterations=num_iterations,
+        seed=seed,
+        keep_iterates=True,
+        raise_on_failure=False,
+    )
+    return result.iterate_history

@@ -1,0 +1,32 @@
+"""Network community profiles and the Figure 1 spectral-vs-flow engine."""
+
+from repro.ncp.compare import (
+    BucketComparison,
+    CloudBucket,
+    Figure1Result,
+    bucket_cloud_niceness,
+    figure1_comparison,
+)
+from repro.ncp.niceness import ClusterNiceness, cluster_niceness
+from repro.ncp.profile import (
+    ClusterCandidate,
+    NCPProfile,
+    best_per_size_bucket,
+    flow_cluster_ensemble_ncp,
+    spectral_cluster_ensemble_ncp,
+)
+
+__all__ = [
+    "BucketComparison",
+    "CloudBucket",
+    "bucket_cloud_niceness",
+    "ClusterCandidate",
+    "ClusterNiceness",
+    "Figure1Result",
+    "NCPProfile",
+    "best_per_size_bucket",
+    "cluster_niceness",
+    "figure1_comparison",
+    "flow_cluster_ensemble_ncp",
+    "spectral_cluster_ensemble_ncp",
+]

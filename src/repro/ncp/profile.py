@@ -1,0 +1,238 @@
+"""Network community profiles (NCP): size-resolved best conductance.
+
+The NCP plot of Leskovec et al. [27, 28] — the substrate of the paper's
+Figure 1 — asks: *for every cluster size k, what is the best conductance
+achievable by a size-k cluster, according to a given approximation
+algorithm?* Different approximation algorithms draw different curves on the
+same graph, and the systematic gap between the spectral and the flow curves
+is the paper's empirical evidence for implicit regularization.
+
+Two ensemble generators:
+
+* :func:`spectral_cluster_ensemble_ncp` — the "LocalSpectral (blue)" side:
+  ACL push from many random seeds over a grid of (α, ε); every sweep prefix
+  of every run is a candidate cluster.
+* :func:`flow_cluster_ensemble_ncp` — the "Metis+MQI (red)" side: recursive
+  multilevel bisection proposes clusters at all scales, each improved by
+  iterated MQI.
+
+Candidates are reduced to a profile by :func:`best_per_size_bucket`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import as_rng, check_int
+from repro.diffusion.push import approximate_ppr_push
+from repro.diffusion.seeds import degree_weighted_indicator_seed
+from repro.exceptions import PartitionError
+from repro.partition.metrics import conductance
+from repro.partition.mqi import mqi
+from repro.partition.multilevel import recursive_bisection_clusters
+from repro.partition.sweep import sweep_cut
+
+
+@dataclass
+class ClusterCandidate:
+    """One candidate cluster in an NCP ensemble.
+
+    Attributes
+    ----------
+    nodes:
+        Sorted node ids.
+    conductance:
+        φ in the host graph.
+    method:
+        Producing algorithm (``"spectral"`` or ``"flow"``).
+    """
+
+    nodes: np.ndarray
+    conductance: float
+    method: str
+
+    @property
+    def size(self):
+        return int(self.nodes.size)
+
+
+@dataclass
+class NCPProfile:
+    """A size-bucketed best-conductance profile.
+
+    Attributes
+    ----------
+    method:
+        Ensemble label.
+    bucket_edges:
+        Log-spaced size-bucket boundaries (length ``b + 1``).
+    best_conductance:
+        Best φ per bucket (NaN for empty buckets).
+    representatives:
+        Best candidate per bucket (None for empty buckets).
+    num_candidates:
+        Ensemble size before bucketing.
+    """
+
+    method: str
+    bucket_edges: np.ndarray
+    best_conductance: np.ndarray
+    representatives: list = field(repr=False, default_factory=list)
+    num_candidates: int = 0
+
+
+def spectral_cluster_ensemble_ncp(
+    graph,
+    *,
+    num_seeds=40,
+    alphas=(0.01, 0.05, 0.15),
+    epsilons=(1e-4, 1e-5),
+    max_cluster_size=None,
+    seed=None,
+):
+    """Generate the spectral candidate ensemble by ACL push sweeps.
+
+    For each random seed node and each (α, ε), run push and record the best
+    sweep prefix at every admissible size (one candidate per run per size
+    decade, to bound memory).
+
+    Returns a list of :class:`ClusterCandidate`.
+    """
+    check_int(num_seeds, "num_seeds", minimum=1)
+    rng = as_rng(seed)
+    n = graph.num_nodes
+    if max_cluster_size is None:
+        max_cluster_size = n // 2
+    # Seed nodes sampled by degree (stationary measure), as in [27].
+    probabilities = graph.degrees / graph.total_volume
+    seed_nodes = rng.choice(n, size=num_seeds, replace=True, p=probabilities)
+    candidates = []
+    for seed_node in seed_nodes:
+        seed_vector = degree_weighted_indicator_seed(graph, [int(seed_node)])
+        for alpha in alphas:
+            for epsilon in epsilons:
+                push = approximate_ppr_push(
+                    graph, seed_vector, alpha=alpha, epsilon=epsilon
+                )
+                support = np.flatnonzero(push.approximation > 0)
+                if support.size < 2:
+                    continue
+                try:
+                    sweep = sweep_cut(
+                        graph, push.approximation, degree_normalize=True,
+                        restrict_to=support, max_size=max_cluster_size,
+                    )
+                except PartitionError:
+                    continue
+                # Record the best prefix in every size octave of the sweep.
+                _octave_candidates(
+                    graph, sweep, candidates, "spectral", max_cluster_size
+                )
+    return candidates
+
+
+def _octave_candidates(graph, sweep, out, method, max_cluster_size):
+    """Push best-per-octave sweep prefixes into ``out``."""
+    profile = sweep.profile
+    order = sweep.order
+    size_limit = min(profile.shape[0], max_cluster_size)
+    octave_start = 1
+    while octave_start <= size_limit:
+        octave_stop = min(2 * octave_start, size_limit + 1)
+        window = profile[octave_start - 1:octave_stop - 1]
+        if window.size and np.isfinite(window).any():
+            local_best = int(np.nanargmin(
+                np.where(np.isfinite(window), window, np.nan)
+            ))
+            k = octave_start + local_best
+            out.append(
+                ClusterCandidate(
+                    nodes=np.sort(order[:k].astype(np.int64)),
+                    conductance=float(window[local_best]),
+                    method=method,
+                )
+            )
+        octave_start = octave_stop
+        if octave_stop > size_limit:
+            break
+
+
+def flow_cluster_ensemble_ncp(graph, *, min_size=4, seed=None,
+                              improve_with_mqi=True, max_mqi_size=None):
+    """Generate the flow candidate ensemble: recursive bisection (+ MQI).
+
+    Every side of every recursive multilevel bisection is a candidate;
+    each is MQI-improved (the "Metis+MQI" pipeline) when its volume permits.
+
+    Returns a list of :class:`ClusterCandidate`.
+    """
+    clusters = recursive_bisection_clusters(
+        graph, min_size=min_size, seed=seed
+    )
+    half = graph.total_volume / 2.0
+    if max_mqi_size is None:
+        max_mqi_size = graph.num_nodes
+    candidates = []
+    seen = set()
+    for nodes in clusters:
+        key = (nodes.size, int(nodes[0]), int(nodes[-1]),
+               int(nodes.sum() % (1 << 61)))
+        if key in seen:
+            continue
+        seen.add(key)
+        phi = conductance(graph, nodes)
+        candidates.append(
+            ClusterCandidate(nodes=nodes, conductance=phi, method="flow")
+        )
+        if (
+            improve_with_mqi
+            and nodes.size <= max_mqi_size
+            and float(graph.degrees[nodes].sum()) <= half
+        ):
+            improved = mqi(graph, nodes)
+            if improved.conductance < phi - 1e-15:
+                candidates.append(
+                    ClusterCandidate(
+                        nodes=improved.nodes,
+                        conductance=improved.conductance,
+                        method="flow",
+                    )
+                )
+    return candidates
+
+
+def best_per_size_bucket(candidates, *, num_buckets=12, min_size=2,
+                         max_size=None, method=None):
+    """Reduce a candidate ensemble to a log-bucketed NCP profile."""
+    check_int(num_buckets, "num_buckets", minimum=1)
+    pool = [
+        c for c in candidates
+        if (method is None or c.method == method) and c.size >= min_size
+    ]
+    if not pool:
+        raise PartitionError("no candidates to profile")
+    sizes = np.asarray([c.size for c in pool])
+    if max_size is None:
+        max_size = int(sizes.max())
+    edges = np.unique(
+        np.geomspace(min_size, max(max_size, min_size + 1), num_buckets + 1)
+    )
+    best = np.full(edges.size - 1, np.nan)
+    representatives = [None] * (edges.size - 1)
+    for candidate in pool:
+        bucket = int(np.searchsorted(edges, candidate.size, side="right")) - 1
+        if bucket < 0 or bucket >= best.size:
+            continue
+        if np.isnan(best[bucket]) or candidate.conductance < best[bucket]:
+            best[bucket] = candidate.conductance
+            representatives[bucket] = candidate
+    label = method if method is not None else pool[0].method
+    return NCPProfile(
+        method=label,
+        bucket_edges=edges,
+        best_conductance=best,
+        representatives=representatives,
+        num_candidates=len(pool),
+    )

@@ -1,0 +1,99 @@
+"""Graph partitioning: metrics, sweep cuts, spectral and flow-based global
+partitioners, strongly local methods, MOV locally-biased spectral, and
+baselines."""
+
+from repro.partition.baselines import (
+    bfs_ball_cluster,
+    kernighan_lin_bisection,
+    random_bisection,
+)
+from repro.partition.flow_improve import (
+    FlowImproveResult,
+    dilate,
+    flow_improve,
+)
+from repro.partition.local import (
+    LocalClusterResult,
+    acl_cluster,
+    best_local_cluster,
+    hk_cluster,
+    nibble_cluster,
+    seed_excluded_from_own_cluster,
+)
+from repro.partition.maxflow import FlowNetwork, MaxFlowResult
+from repro.partition.metrics import (
+    balance,
+    cheeger_lower_bound,
+    cheeger_upper_bound,
+    conductance,
+    cut_and_volumes,
+    expansion,
+    graph_conductance_exact,
+    internal_conductance,
+    normalized_cut,
+)
+from repro.partition.mov import MOVResult, kappa_for_gamma, mov_cluster, mov_vector
+from repro.partition.mqi import MQIResult, mqi, mqi_certificate
+from repro.partition.multilevel import (
+    BisectionResult,
+    contract,
+    fm_refine,
+    heavy_edge_matching,
+    multilevel_bisection,
+    recursive_bisection_clusters,
+)
+from repro.partition.spectral import (
+    SpectralCutResult,
+    cheeger_certificate,
+    spectral_bisection_median,
+    spectral_cluster_ensemble,
+    spectral_cut,
+)
+from repro.partition.sweep import SweepCutResult, all_prefix_clusters, sweep_cut
+
+__all__ = [
+    "BisectionResult",
+    "FlowImproveResult",
+    "FlowNetwork",
+    "LocalClusterResult",
+    "MOVResult",
+    "MQIResult",
+    "MaxFlowResult",
+    "SpectralCutResult",
+    "SweepCutResult",
+    "acl_cluster",
+    "all_prefix_clusters",
+    "balance",
+    "best_local_cluster",
+    "bfs_ball_cluster",
+    "cheeger_certificate",
+    "cheeger_lower_bound",
+    "cheeger_upper_bound",
+    "conductance",
+    "contract",
+    "cut_and_volumes",
+    "dilate",
+    "expansion",
+    "flow_improve",
+    "fm_refine",
+    "graph_conductance_exact",
+    "heavy_edge_matching",
+    "hk_cluster",
+    "internal_conductance",
+    "kappa_for_gamma",
+    "kernighan_lin_bisection",
+    "mov_cluster",
+    "mov_vector",
+    "mqi",
+    "mqi_certificate",
+    "multilevel_bisection",
+    "nibble_cluster",
+    "normalized_cut",
+    "random_bisection",
+    "recursive_bisection_clusters",
+    "seed_excluded_from_own_cluster",
+    "spectral_bisection_median",
+    "spectral_cluster_ensemble",
+    "spectral_cut",
+    "sweep_cut",
+]

@@ -1,0 +1,122 @@
+"""Baseline partitioners: random, BFS balls, and Kernighan–Lin.
+
+These are the naive comparators every experiment needs: any method worth its
+name must beat random bisection, and geodesic (BFS-ball) growth is the
+metric-space baseline the paper's Section 2.1 contrasts with diffusion
+geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_rng, check_int
+from repro.exceptions import PartitionError
+from repro.partition.metrics import conductance
+
+
+def random_bisection(graph, seed=None):
+    """Uniformly random half/half split (by node count).
+
+    Returns ``(nodes, conductance)``.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise PartitionError("cannot bisect fewer than 2 nodes")
+    rng = as_rng(seed)
+    order = rng.permutation(n)
+    side = np.sort(order[: n // 2])
+    return side, conductance(graph, side)
+
+
+def bfs_ball_cluster(graph, center, target_size):
+    """Geodesic ball: the ``target_size`` nodes closest to ``center`` in hops.
+
+    Ties at the outermost shell are broken by node id. Returns
+    ``(nodes, conductance)``.
+    """
+    target_size = check_int(target_size, "target_size", minimum=1,
+                            maximum=graph.num_nodes - 1)
+    dist = graph.bfs_distances(center)
+    reachable = np.flatnonzero(dist >= 0)
+    if reachable.size < target_size:
+        raise PartitionError(
+            f"only {reachable.size} nodes reachable from {center}"
+        )
+    order = reachable[np.lexsort((reachable, dist[reachable]))]
+    nodes = np.sort(order[:target_size])
+    return nodes, conductance(graph, nodes)
+
+
+def kernighan_lin_bisection(graph, *, seed=None, max_passes=10):
+    """Kernighan–Lin bisection with node-count balance.
+
+    Starts from a random equal split and runs KL passes: in each pass,
+    greedily select the best sequence of node swaps (each node moves at most
+    once per pass) and apply the best prefix of the sequence. Stops when a
+    pass yields no improvement.
+
+    Returns ``(nodes, conductance)`` for the smaller-volume side.
+    """
+    n = graph.num_nodes
+    if n < 4:
+        raise PartitionError("Kernighan–Lin needs at least 4 nodes")
+    check_int(max_passes, "max_passes", minimum=1)
+    rng = as_rng(seed)
+    mask = np.zeros(n, dtype=bool)
+    mask[rng.permutation(n)[: n // 2]] = True
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    def gain(u, current):
+        external = internal = 0.0
+        for k in range(indptr[u], indptr[u + 1]):
+            w = weights[k]
+            if current[indices[k]] == current[u]:
+                internal += w
+            else:
+                external += w
+        return external - internal
+
+    for _ in range(max_passes):
+        working = mask.copy()
+        locked = np.zeros(n, dtype=bool)
+        sequence = []
+        cumulative = []
+        total_gain = 0.0
+        tolerance = max(1, n // 8)
+        low_count = n // 2 - tolerance
+        high_count = n // 2 + tolerance
+        for _ in range(n - 2):
+            best_u, best_g = -1, -np.inf
+            side_count = int(working.sum())
+            for u in range(n):
+                if locked[u]:
+                    continue
+                # Keep the split near-balanced in node counts (the KL
+                # constraint; without it the pass peels off single nodes).
+                new_count = side_count + (-1 if working[u] else +1)
+                if not low_count <= new_count <= high_count:
+                    continue
+                g = gain(u, working)
+                if g > best_g:
+                    best_u, best_g = u, g
+            if best_u < 0:
+                break
+            working[best_u] = not working[best_u]
+            locked[best_u] = True
+            total_gain += best_g
+            sequence.append(best_u)
+            cumulative.append(total_gain)
+        if not cumulative:
+            break
+        best_prefix = int(np.argmax(cumulative))
+        if cumulative[best_prefix] <= 1e-12:
+            break
+        for u in sequence[: best_prefix + 1]:
+            mask[u] = not mask[u]
+    if not mask.any() or mask.all():
+        raise PartitionError("Kernighan–Lin degenerated to one side")
+    if graph.degrees[mask].sum() > graph.total_volume / 2.0:
+        mask = ~mask
+    nodes = np.flatnonzero(mask)
+    return nodes, conductance(graph, nodes)

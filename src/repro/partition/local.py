@@ -1,0 +1,201 @@
+"""Seed → cluster drivers: the "operational approach" of Section 3.3.
+
+Each driver runs a strongly local diffusion from a seed set and sweeps the
+(degree-normalized) output over its support only, so that the total work —
+diffusion plus sweep — depends on the output size, not on ``n``:
+
+* :func:`acl_cluster` — ACL push on personalized PageRank [1]; the method
+  the paper identifies behind the "LocalSpectral" curve of Figure 1;
+* :func:`nibble_cluster` — Spielman–Teng truncated random walks [39],
+  sweeping every step of the trajectory;
+* :func:`hk_cluster` — heat-kernel push [15].
+
+Each returns a :class:`LocalClusterResult` carrying both the cluster and the
+work accounting used by experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_int, check_positive, check_probability
+from repro.diffusion.hk_push import heat_kernel_push
+from repro.diffusion.push import approximate_ppr_push
+from repro.diffusion.seeds import degree_weighted_indicator_seed
+from repro.diffusion.truncated_walk import truncated_lazy_walk
+from repro.exceptions import PartitionError
+from repro.partition.metrics import conductance
+from repro.partition.sweep import sweep_cut
+
+
+@dataclass
+class LocalClusterResult:
+    """A locally computed cluster.
+
+    Attributes
+    ----------
+    nodes:
+        Sorted node ids of the cluster.
+    conductance:
+        φ(cluster).
+    seed_nodes:
+        The seed set used.
+    support_size:
+        Nodes touched by the diffusion (the locality certificate).
+    work:
+        Edge work performed by the diffusion.
+    method:
+        ``"acl"``, ``"nibble"``, or ``"hk"``.
+    contains_seed:
+        Whether every seed node ended up inside the cluster — Section 3.3
+        warns this can be False ("a seed node not being part of 'its own
+        cluster' can easily happen"), and experiment E9 counts how often.
+    """
+
+    nodes: np.ndarray
+    conductance: float
+    seed_nodes: np.ndarray
+    support_size: int
+    work: int
+    method: str
+    contains_seed: bool
+
+
+def _finish(graph, scores, restrict_to, seed_nodes, work, method,
+            max_volume, min_size):
+    if restrict_to.size == 0:
+        raise PartitionError(f"{method}: diffusion support is empty")
+    sweep = sweep_cut(
+        graph, scores, degree_normalize=True, restrict_to=restrict_to,
+        max_volume=max_volume, min_size=min_size,
+    )
+    seed_arr = np.asarray(sorted(set(int(s) for s in seed_nodes)),
+                          dtype=np.int64)
+    cluster = sweep.nodes
+    contains = bool(np.isin(seed_arr, cluster).all())
+    return LocalClusterResult(
+        nodes=cluster,
+        conductance=sweep.conductance,
+        seed_nodes=seed_arr,
+        support_size=int(restrict_to.size),
+        work=int(work),
+        method=method,
+        contains_seed=contains,
+    )
+
+
+def acl_cluster(graph, seed_nodes, *, alpha=0.1, epsilon=1e-4,
+                max_volume=None, min_size=1):
+    """Local cluster via ACL push + sweep (the paper's LocalSpectral).
+
+    Parameters
+    ----------
+    graph:
+        Graph with positive degrees.
+    seed_nodes:
+        Seed set (ids).
+    alpha:
+        Teleport probability; larger α keeps mass closer to the seed
+        (stronger locality / regularization).
+    epsilon:
+        Push threshold; smaller ε = larger support = weaker regularization.
+    max_volume:
+        Optional volume cap on the sweep (Problem (9)'s k).
+    min_size:
+        Minimum cluster size accepted by the sweep.
+
+    Returns
+    -------
+    LocalClusterResult
+    """
+    alpha = check_probability(alpha, "alpha")
+    epsilon = check_probability(epsilon, "epsilon")
+    seed_vector = degree_weighted_indicator_seed(graph, seed_nodes)
+    push = approximate_ppr_push(
+        graph, seed_vector, alpha=alpha, epsilon=epsilon
+    )
+    support = np.flatnonzero(push.approximation > 0)
+    return _finish(
+        graph, push.approximation, support, seed_nodes, push.work, "acl",
+        max_volume, min_size,
+    )
+
+
+def nibble_cluster(graph, seed_nodes, *, num_steps=None, epsilon=1e-4,
+                   max_volume=None, min_size=1):
+    """Local cluster via truncated lazy walks + per-step sweeps [39].
+
+    Sweeps the truncated charge vector after *every* step and keeps the best
+    cut found along the trajectory, as Nibble does.
+    """
+    epsilon = check_probability(epsilon, "epsilon")
+    if num_steps is None:
+        num_steps = max(10, int(np.ceil(np.log2(graph.num_nodes + 1) ** 2)))
+    num_steps = check_int(num_steps, "num_steps", minimum=1)
+    seed_vector = degree_weighted_indicator_seed(graph, seed_nodes)
+    walk = truncated_lazy_walk(
+        graph, seed_vector, num_steps, epsilon=epsilon, keep_trajectory=True
+    )
+    work = int(sum(walk.support_volumes))
+    best = None
+    for charge in walk.trajectory[1:]:
+        support = np.flatnonzero(charge)
+        if support.size == 0:
+            continue
+        try:
+            candidate = _finish(
+                graph, charge, support, seed_nodes, work, "nibble",
+                max_volume, min_size,
+            )
+        except PartitionError:
+            continue
+        if best is None or candidate.conductance < best.conductance:
+            best = candidate
+    if best is None:
+        raise PartitionError("nibble: no step produced an admissible sweep")
+    return best
+
+
+def hk_cluster(graph, seed_nodes, *, t=5.0, epsilon=1e-4, max_volume=None,
+               min_size=1):
+    """Local cluster via strongly local heat-kernel diffusion [15]."""
+    t = check_positive(t, "t")
+    epsilon = check_probability(epsilon, "epsilon")
+    seed_vector = degree_weighted_indicator_seed(graph, seed_nodes)
+    result = heat_kernel_push(graph, seed_vector, t, epsilon=epsilon)
+    support = np.flatnonzero(result.approximation > 0)
+    return _finish(
+        graph, result.approximation, support, seed_nodes, result.work, "hk",
+        max_volume, min_size,
+    )
+
+
+def best_local_cluster(graph, seed_nodes, *, methods=("acl", "nibble", "hk"),
+                       **kwargs):
+    """Run several local methods from the same seed; keep the best φ."""
+    drivers = {"acl": acl_cluster, "nibble": nibble_cluster, "hk": hk_cluster}
+    best = None
+    for name in methods:
+        if name not in drivers:
+            raise PartitionError(f"unknown local method {name!r}")
+        try:
+            candidate = drivers[name](graph, seed_nodes, **kwargs.get(name, {}))
+        except PartitionError:
+            continue
+        if best is None or candidate.conductance < best.conductance:
+            best = candidate
+    if best is None:
+        raise PartitionError("no local method produced a cluster")
+    return best
+
+
+def seed_excluded_from_own_cluster(graph, seed_node, **acl_kwargs):
+    """Exhibit the Section 3.3 pathology for a given seed, if present.
+
+    Returns ``(result, excluded)`` where ``excluded`` is True when the ACL
+    sweep cluster does not contain the seed node.
+    """
+    result = acl_cluster(graph, [seed_node], **acl_kwargs)
+    return result, not result.contains_seed

@@ -1,0 +1,341 @@
+"""Multilevel graph bisection (the "Metis" role in Metis+MQI).
+
+The paper's Figure 1 flow curve comes from Metis+MQI. Metis itself is the
+classic multilevel heuristic:
+
+1. **Coarsen** — repeatedly contract a heavy-edge matching until the graph
+   is small;
+2. **Initial partition** — solve the small instance directly (greedy
+   volume-balanced region growing from several seeds, keeping the best cut);
+3. **Uncoarsen + refine** — project the partition back up, running
+   boundary Fiduccia–Mattheyses (FM) refinement at every level: move single
+   nodes across the cut when that reduces cut weight without wrecking the
+   volume balance.
+
+Node "weights" carried through coarsening are the *original* volumes
+(weighted degrees), so balance at every level means volume balance in the
+input graph — the right invariant for conductance.
+
+:func:`recursive_bisection_clusters` applies the bisector recursively and
+returns every intermediate cluster, which is how the flow-side NCP ensemble
+of experiment E1 is generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng, check_int, check_positive
+from repro.exceptions import PartitionError
+from repro.graph.build import from_edges
+from repro.partition.metrics import conductance
+
+
+@dataclass
+class _Level:
+    """One level of the coarsening hierarchy."""
+
+    graph: object
+    node_volumes: np.ndarray
+    fine_to_coarse: np.ndarray  # map from the finer level into this one
+
+
+def heavy_edge_matching(graph, rng):
+    """Greedy heavy-edge matching.
+
+    Visits nodes in random order; each unmatched node matches its heaviest
+    unmatched neighbor. Returns ``match`` with ``match[u] = v`` (and
+    ``match[v] = u``) or ``match[u] = u`` for unmatched nodes.
+    """
+    n = graph.num_nodes
+    match = np.arange(n)
+    matched = np.zeros(n, dtype=bool)
+    order = rng.permutation(n)
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    for u in order:
+        if matched[u]:
+            continue
+        best_v, best_w = -1, -1.0
+        for k in range(indptr[u], indptr[u + 1]):
+            v = int(indices[k])
+            if not matched[v] and v != u and weights[k] > best_w:
+                best_v, best_w = v, float(weights[k])
+        if best_v >= 0:
+            match[u], match[best_v] = best_v, u
+            matched[u] = matched[best_v] = True
+    return match
+
+
+def contract(graph, node_volumes, match):
+    """Contract matched pairs into supernodes.
+
+    Returns ``(coarse_graph, coarse_volumes, fine_to_coarse)``. Edge weights
+    between supernodes are summed; intra-pair edges vanish (they become
+    self-loops, which are dropped — their weight is interior, not cut).
+    """
+    n = graph.num_nodes
+    fine_to_coarse = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(n):
+        if fine_to_coarse[u] >= 0:
+            continue
+        fine_to_coarse[u] = next_id
+        v = int(match[u])
+        if v != u and fine_to_coarse[v] < 0:
+            fine_to_coarse[v] = next_id
+        next_id += 1
+    coarse_volumes = np.zeros(next_id)
+    np.add.at(coarse_volumes, fine_to_coarse, node_volumes)
+    us, vs, ws = graph.edge_array()
+    cu, cv = fine_to_coarse[us], fine_to_coarse[vs]
+    keep = cu != cv
+    coarse = from_edges(
+        next_id,
+        np.stack([cu[keep], cv[keep]], axis=1) if keep.any() else [],
+        ws[keep] if keep.any() else None,
+        combine="sum",
+    )
+    return coarse, coarse_volumes, fine_to_coarse
+
+
+def _greedy_initial_bisection(graph, node_volumes, rng, *, attempts=8):
+    """Volume-balanced region growing on the coarsest graph.
+
+    Grows a side from a random start, always absorbing the frontier node
+    with the largest (gain / volume) ratio, until half the volume is
+    reached; repeats from several starts and keeps the best conductance.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise PartitionError("cannot bisect a graph with < 2 nodes")
+    total = float(node_volumes.sum())
+    target = total / 2.0
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    best_mask, best_phi = None, float("inf")
+    for _ in range(attempts):
+        start = int(rng.integers(n))
+        mask = np.zeros(n, dtype=bool)
+        mask[start] = True
+        volume = float(node_volumes[start])
+        # connection[u] = weight from u into the growing side
+        connection = np.zeros(n)
+        for k in range(indptr[start], indptr[start + 1]):
+            connection[indices[k]] += weights[k]
+        while volume < target:
+            frontier = np.flatnonzero((connection > 0) & ~mask)
+            if frontier.size == 0:
+                remaining = np.flatnonzero(~mask)
+                if remaining.size == 0:
+                    break
+                frontier = remaining  # disconnected: jump components
+            gains = connection[frontier] / np.maximum(
+                node_volumes[frontier], 1e-12
+            )
+            u = int(frontier[int(np.argmax(gains))])
+            mask[u] = True
+            volume += float(node_volumes[u])
+            for k in range(indptr[u], indptr[u + 1]):
+                connection[indices[k]] += weights[k]
+        if mask.all() or not mask.any():
+            continue
+        phi = _phi(graph, node_volumes, mask)
+        if phi < best_phi:
+            best_phi, best_mask = phi, mask.copy()
+    if best_mask is None:
+        # Fall back to an arbitrary nontrivial split.
+        best_mask = np.zeros(n, dtype=bool)
+        best_mask[: max(1, n // 2)] = True
+    return best_mask
+
+
+def _phi(graph, node_volumes, mask):
+    """Conductance with respect to the carried (original) volumes."""
+    cut = graph.cut_weight(mask)
+    vol_s = float(node_volumes[mask].sum())
+    vol_rest = float(node_volumes.sum()) - vol_s
+    denominator = min(vol_s, vol_rest)
+    if denominator <= 0:
+        return float("inf")
+    return cut / denominator
+
+
+def fm_refine(graph, node_volumes, mask, *, max_passes=8,
+              balance_tolerance=0.1):
+    """Boundary Fiduccia–Mattheyses refinement.
+
+    Repeated passes over boundary nodes; each pass greedily applies the
+    single-node move with the best cut-weight gain whose resulting balance
+    stays within ``(0.5 ± tolerance)`` of the volume. Stops when a pass
+    makes no improving move.
+    """
+    check_int(max_passes, "max_passes", minimum=1)
+    check_positive(balance_tolerance, "balance_tolerance")
+    mask = mask.copy()
+    n = graph.num_nodes
+    total = float(node_volumes.sum())
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    # internal/external connection weights per node w.r.t. current side
+    internal = np.zeros(n)
+    external = np.zeros(n)
+    for u in range(n):
+        for k in range(indptr[u], indptr[u + 1]):
+            w = weights[k]
+            if mask[indices[k]] == mask[u]:
+                internal[u] += w
+            else:
+                external[u] += w
+    vol_s = float(node_volumes[mask].sum())
+    low = total * (0.5 - balance_tolerance)
+    high = total * (0.5 + balance_tolerance)
+    for _ in range(max_passes):
+        moved_any = False
+        boundary = np.flatnonzero(external > 0)
+        gains = external[boundary] - internal[boundary]
+        for idx in np.argsort(-gains):
+            u = int(boundary[idx])
+            gain = external[u] - internal[u]
+            if gain <= 1e-12:
+                break
+            new_vol = vol_s + (-1 if mask[u] else +1) * float(node_volumes[u])
+            if not (low <= new_vol <= high or low <= total - new_vol <= high):
+                continue
+            # Apply the move.
+            mask[u] = not mask[u]
+            vol_s = new_vol
+            internal[u], external[u] = external[u], internal[u]
+            for k in range(indptr[u], indptr[u + 1]):
+                v = int(indices[k])
+                w = weights[k]
+                if mask[v] == mask[u]:
+                    internal[v] += w
+                    external[v] -= w
+                else:
+                    internal[v] -= w
+                    external[v] += w
+            moved_any = True
+        if not moved_any:
+            break
+    return mask
+
+
+@dataclass
+class BisectionResult:
+    """A two-way partition of a graph.
+
+    Attributes
+    ----------
+    side:
+        Boolean mask of the (first) side.
+    conductance:
+        φ of the side in the input graph.
+    cut_weight:
+        Total weight crossing the partition.
+    levels:
+        Number of coarsening levels used.
+    """
+
+    side: np.ndarray
+    conductance: float
+    cut_weight: float
+    levels: int
+
+
+def multilevel_bisection(graph, *, coarsest_size=32, balance_tolerance=0.12,
+                         seed=None, refine_passes=6):
+    """Metis-style multilevel bisection of a connected graph.
+
+    Returns a :class:`BisectionResult`; the mask side is the smaller-volume
+    side.
+    """
+    if graph.num_nodes < 2:
+        raise PartitionError("cannot bisect a graph with < 2 nodes")
+    coarsest_size = check_int(coarsest_size, "coarsest_size", minimum=2)
+    rng = as_rng(seed)
+    levels = [
+        _Level(graph=graph, node_volumes=graph.degrees.copy(),
+               fine_to_coarse=None)
+    ]
+    current, volumes = graph, graph.degrees.copy()
+    while current.num_nodes > coarsest_size:
+        match = heavy_edge_matching(current, rng)
+        coarse, coarse_volumes, mapping = contract(current, volumes, match)
+        if coarse.num_nodes >= current.num_nodes:
+            break  # matching found nothing; stop coarsening
+        levels.append(
+            _Level(graph=coarse, node_volumes=coarse_volumes,
+                   fine_to_coarse=mapping)
+        )
+        current, volumes = coarse, coarse_volumes
+    mask = _greedy_initial_bisection(current, volumes, rng)
+    mask = fm_refine(
+        current, volumes, mask, max_passes=refine_passes,
+        balance_tolerance=balance_tolerance,
+    )
+    # Project back through the hierarchy, refining at every level.
+    for level_index in range(len(levels) - 1, 0, -1):
+        coarse_level = levels[level_index]
+        finer = levels[level_index - 1]
+        fine_mask = mask[coarse_level.fine_to_coarse]
+        mask = fm_refine(
+            finer.graph, finer.node_volumes, fine_mask,
+            max_passes=refine_passes, balance_tolerance=balance_tolerance,
+        )
+    if not mask.any() or mask.all():
+        raise PartitionError("multilevel bisection degenerated to one side")
+    # Report the smaller-volume side.
+    if graph.degrees[mask].sum() > graph.total_volume / 2.0:
+        mask = ~mask
+    return BisectionResult(
+        side=mask,
+        conductance=conductance(graph, mask),
+        cut_weight=graph.cut_weight(mask),
+        levels=len(levels),
+    )
+
+
+def recursive_bisection_clusters(graph, *, min_size=8, max_depth=20,
+                                 seed=None, balance_tolerance=0.12):
+    """All clusters produced by recursive multilevel bisection.
+
+    Bisects the graph, then recurses into each side (as an induced
+    subgraph), collecting every side at every depth as a candidate cluster
+    in *original* node ids. This is the flow-side ensemble generator of
+    experiment E1; each candidate is typically post-processed with MQI.
+
+    Returns a list of sorted node-id arrays.
+    """
+    min_size = check_int(min_size, "min_size", minimum=2)
+    rng = as_rng(seed)
+    clusters = []
+
+    def recurse(subgraph, original_ids, depth):
+        if subgraph.num_nodes < 2 * min_size or depth > max_depth:
+            return
+        if not subgraph.is_connected():
+            labels, count = subgraph.connected_components()
+            for component in range(count):
+                members = np.flatnonzero(labels == component)
+                if members.size >= min_size:
+                    clusters.append(np.sort(original_ids[members]))
+                    inner, inner_ids = subgraph.induced_subgraph(members)
+                    recurse(inner, original_ids[inner_ids], depth + 1)
+            return
+        try:
+            result = multilevel_bisection(
+                subgraph, seed=int(rng.integers(2**31 - 1)),
+                balance_tolerance=balance_tolerance,
+            )
+        except PartitionError:
+            return
+        for side_mask in (result.side, ~result.side):
+            members = np.flatnonzero(side_mask)
+            if members.size < min_size:
+                continue
+            clusters.append(np.sort(original_ids[members]))
+            inner, inner_ids = subgraph.induced_subgraph(members)
+            recurse(inner, original_ids[inner_ids], depth + 1)
+
+    recurse(graph, np.arange(graph.num_nodes), 0)
+    return clusters

@@ -1,0 +1,174 @@
+"""Global spectral partitioning: Fiedler embedding + sweep cut.
+
+The spectral pipeline of Section 3.2: solve Problem (3) (exactly or
+approximately), embed the nodes on the line spanned by the Fiedler
+direction, and take the best sweep cut. The result is "quadratically good"
+— Cheeger's inequality guarantees
+
+    λ2 / 2  <=  φ(G)  <=  φ(sweep)  <=  sqrt(2 λ2),
+
+and :func:`cheeger_certificate` checks both sides on every run (the
+quadratic slack is *real* on long stringy graphs; experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+from repro.linalg.fiedler import fiedler_pair
+from repro.partition.metrics import cheeger_lower_bound, cheeger_upper_bound
+from repro.partition.sweep import SweepCutResult, sweep_cut
+
+
+@dataclass
+class SpectralCutResult:
+    """Spectral sweep-cut output with its Cheeger certificate.
+
+    Attributes
+    ----------
+    nodes:
+        The best sweep prefix (smaller-volume side not guaranteed).
+    conductance:
+        φ of that prefix.
+    lambda2:
+        The (approximate) second eigenvalue used.
+    cheeger_lower, cheeger_upper:
+        λ2/2 and sqrt(2 λ2).
+    embedding:
+        The D^{-1/2}-scaled Fiedler embedding that was swept.
+    sweep:
+        The full :class:`~repro.partition.sweep.SweepCutResult`.
+    """
+
+    nodes: np.ndarray
+    conductance: float
+    lambda2: float
+    cheeger_lower: float
+    cheeger_upper: float
+    embedding: np.ndarray
+    sweep: SweepCutResult
+
+    def satisfies_cheeger(self, *, slack=1e-8):
+        """Whether λ2/2 − slack <= φ(sweep) <= sqrt(2 λ2) + slack."""
+        return (
+            self.conductance >= self.cheeger_lower - slack
+            and self.conductance <= self.cheeger_upper + slack
+        )
+
+
+def spectral_cut(graph, *, method="lanczos", seed=None, max_size=None):
+    """Spectral bisection by Fiedler sweep.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph with positive degrees.
+    method:
+        Eigensolver route (``"exact"``, ``"lanczos"``, ``"power"``).
+    seed:
+        RNG seed for the iterative eigensolvers.
+    max_size:
+        Optional cap on the prefix size examined.
+
+    Returns
+    -------
+    SpectralCutResult
+    """
+    lambda2, x = fiedler_pair(graph, method=method, seed=seed)
+    embedding = x / np.sqrt(graph.degrees)
+    # Sweep both orientations; Cheeger's proof guarantees one of them.
+    best = None
+    for direction in (embedding, -embedding):
+        result = sweep_cut(
+            graph, direction, degree_normalize=False, max_size=max_size
+        )
+        if best is None or result.conductance < best.conductance:
+            best = result
+    return SpectralCutResult(
+        nodes=best.nodes,
+        conductance=best.conductance,
+        lambda2=lambda2,
+        cheeger_lower=cheeger_lower_bound(lambda2),
+        cheeger_upper=cheeger_upper_bound(lambda2),
+        embedding=embedding,
+        sweep=best,
+    )
+
+
+def cheeger_certificate(graph, *, method="exact", seed=None):
+    """Return ``(λ2/2, φ(sweep), sqrt(2 λ2))`` and verify the sandwich.
+
+    Raises :class:`PartitionError` if the certificate fails — which would
+    indicate an implementation bug, since the inequality is a theorem.
+    """
+    result = spectral_cut(graph, method=method, seed=seed)
+    if not result.satisfies_cheeger(slack=1e-6):
+        raise PartitionError(
+            f"Cheeger certificate violated: λ2/2={result.cheeger_lower:.6g}, "
+            f"φ={result.conductance:.6g}, "
+            f"sqrt(2λ2)={result.cheeger_upper:.6g}"
+        )
+    return result.cheeger_lower, result.conductance, result.cheeger_upper
+
+
+def spectral_bisection_median(graph, *, laplacian="combinatorial",
+                              method="exact", seed=None):
+    """Classical spectral bisection: split at the median of the Fiedler vector.
+
+    This is the *bisection* (not sweep) rounding that Guattery–Miller [21]
+    analyze: with ``laplacian="combinatorial"`` (their setting), the roach
+    graph makes this cut all body rungs — conductance Θ(1) — while the
+    optimal bisection severs the two antennae at cost 2. The paper's
+    Section 3.2 cites exactly this as the proof that the spectral method's
+    quadratic Cheeger factor "is not an artifact of the analysis".
+
+    Returns ``(nodes, conductance)`` for the lower-median half (node count
+    ``floor(n/2)``).
+    """
+    import numpy as np
+
+    from repro.partition.metrics import conductance as _conductance
+
+    n = graph.num_nodes
+    if laplacian == "combinatorial":
+        from repro.graph.matrices import combinatorial_laplacian
+
+        L = combinatorial_laplacian(graph).toarray()
+        values, vectors = np.linalg.eigh(L)
+        y = vectors[:, 1]
+    elif laplacian == "normalized":
+        from repro.linalg.fiedler import fiedler_embedding
+
+        y = fiedler_embedding(graph, method=method, seed=seed)
+    else:
+        raise PartitionError(
+            f"laplacian must be 'combinatorial' or 'normalized'; "
+            f"got {laplacian!r}"
+        )
+    order = np.argsort(y, kind="stable")
+    half = np.sort(order[: n // 2])
+    return half, _conductance(graph, half)
+
+
+def spectral_cluster_ensemble(graph, *, method="lanczos", seed=None,
+                              max_size=None):
+    """All sweep prefixes of the Fiedler embedding as candidate clusters.
+
+    The global-spectral contribution to an NCP: each prefix of the sweep is
+    a candidate cluster with a known conductance. Returns ``(sizes, phis,
+    volumes, order)`` arrays aligned by prefix.
+    """
+    lambda2, x = fiedler_pair(graph, method=method, seed=seed)
+    embedding = x / np.sqrt(graph.degrees)
+    from repro.partition.sweep import all_prefix_clusters
+
+    rows_fwd, order_fwd = all_prefix_clusters(
+        graph, embedding, degree_normalize=False, max_size=max_size
+    )
+    rows_bwd, order_bwd = all_prefix_clusters(
+        graph, -embedding, degree_normalize=False, max_size=max_size
+    )
+    return (rows_fwd, order_fwd), (rows_bwd, order_bwd)

@@ -1,0 +1,108 @@
+"""Regularization: the explicit f(x)+λg(x) framework (Eq. 1), the spectral
+SDP (Problems 3–5), closed-form regularized optima, first-order SDP solvers,
+the diffusion ≡ regularized-SDP verification harness, and implicit
+regularization estimators."""
+
+from repro.regularization.closed_forms import (
+    GeneralizedEntropy,
+    LogDeterminant,
+    MatrixPNorm,
+    eta_for_heat_kernel,
+    eta_for_lazy_walk,
+    eta_for_pagerank,
+    heat_kernel_density,
+    lazy_walk_density,
+    pagerank_density,
+)
+from repro.regularization.equivalence import (
+    EquivalenceReport,
+    assert_equivalence,
+    verify_all,
+    verify_heat_kernel,
+    verify_lazy_walk,
+    verify_pagerank,
+)
+from repro.regularization.implicit import (
+    EarlyStoppingPoint,
+    TruncationPoint,
+    early_stopping_path,
+    noise_sensitivity,
+    truncation_path,
+)
+from repro.regularization.objectives import (
+    RegularizedSolution,
+    effective_degrees_of_freedom,
+    graph_tikhonov,
+    lasso_ista,
+    ridge_path,
+    ridge_regression,
+    soft_threshold,
+)
+from repro.regularization.path import (
+    PathPoint,
+    heat_kernel_path,
+    lazy_walk_path,
+    pagerank_path,
+    path_is_monotone,
+    tradeoff_table,
+)
+from repro.regularization.sdp import (
+    SpectralSDP,
+    deflation_basis,
+    density_from_vector,
+    normalize_to_density,
+)
+from repro.regularization.solver import (
+    SDPSolveResult,
+    kkt_stationarity_residual,
+    mirror_descent,
+    projected_gradient,
+    simplex_projection,
+    spectrahedron_projection,
+)
+
+__all__ = [
+    "EarlyStoppingPoint",
+    "EquivalenceReport",
+    "GeneralizedEntropy",
+    "LogDeterminant",
+    "MatrixPNorm",
+    "PathPoint",
+    "RegularizedSolution",
+    "SDPSolveResult",
+    "SpectralSDP",
+    "TruncationPoint",
+    "assert_equivalence",
+    "deflation_basis",
+    "density_from_vector",
+    "early_stopping_path",
+    "effective_degrees_of_freedom",
+    "eta_for_heat_kernel",
+    "eta_for_lazy_walk",
+    "eta_for_pagerank",
+    "graph_tikhonov",
+    "heat_kernel_density",
+    "heat_kernel_path",
+    "kkt_stationarity_residual",
+    "lasso_ista",
+    "lazy_walk_density",
+    "lazy_walk_path",
+    "mirror_descent",
+    "noise_sensitivity",
+    "normalize_to_density",
+    "pagerank_density",
+    "pagerank_path",
+    "path_is_monotone",
+    "projected_gradient",
+    "ridge_path",
+    "ridge_regression",
+    "simplex_projection",
+    "soft_threshold",
+    "spectrahedron_projection",
+    "tradeoff_table",
+    "truncation_path",
+    "verify_all",
+    "verify_heat_kernel",
+    "verify_lazy_walk",
+    "verify_pagerank",
+]

@@ -1,0 +1,133 @@
+"""Regularization paths for the three diffusion dynamics.
+
+Each dynamics has an "aggressiveness" parameter (t, γ, or k; Section 3.1).
+Sweeping it traces a path through the quality/niceness plane: the
+unregularized end approaches the Fiedler optimum ``λ2`` of Problem (3)-(4),
+the heavily regularized end approaches the maximally mixed density. This
+module computes those paths and the associated tradeoff curves — the SDP
+analogue of a ridge path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.regularization.closed_forms import (
+    GeneralizedEntropy,
+    LogDeterminant,
+    MatrixPNorm,
+    eta_for_lazy_walk,
+    eta_for_pagerank,
+    heat_kernel_density,
+    lazy_walk_density,
+    pagerank_density,
+)
+from repro.regularization.sdp import SpectralSDP
+
+
+@dataclass
+class PathPoint:
+    """One point on a diffusion regularization path.
+
+    Attributes
+    ----------
+    parameter:
+        The dynamics parameter (t, γ, or k).
+    eta:
+        Equivalent SDP regularization strength.
+    rayleigh:
+        Solution quality ``Tr(𝓛 X)`` (lower = better objective).
+    regularizer_value:
+        ``G(X)`` (lower = "nicer" under that G).
+    entropy:
+        Von Neumann entropy of X (a G-independent niceness summary:
+        high entropy = smooth/spread, low = concentrated).
+    effective_rank:
+        ``exp(entropy)`` — participation dimension of the density.
+    distance_to_optimum:
+        Frobenius distance to the rank-one unregularized optimum.
+    """
+
+    parameter: float
+    eta: float
+    rayleigh: float
+    regularizer_value: float
+    entropy: float
+    effective_rank: float
+    distance_to_optimum: float
+
+
+def _point(sdp, ambient, parameter, eta, regularizer, optimum):
+    eigenvalues = np.linalg.eigvalsh((ambient + ambient.T) / 2.0)
+    positive = eigenvalues[eigenvalues > 1e-15]
+    entropy = float(-np.sum(positive * np.log(positive)))
+    return PathPoint(
+        parameter=float(parameter),
+        eta=float(eta),
+        rayleigh=sdp.objective(ambient),
+        regularizer_value=float(regularizer.value(sdp.restrict(ambient))),
+        entropy=entropy,
+        effective_rank=float(np.exp(entropy)),
+        distance_to_optimum=float(np.linalg.norm(ambient - optimum)),
+    )
+
+
+def heat_kernel_path(graph, times):
+    """Path of Heat Kernel densities over a grid of times ``t = η``."""
+    sdp = SpectralSDP.from_graph(graph)
+    optimum, _ = sdp.exact_solution()
+    regularizer = GeneralizedEntropy()
+    return [
+        _point(sdp, heat_kernel_density(sdp, t), t, t, regularizer, optimum)
+        for t in times
+    ]
+
+
+def pagerank_path(graph, gammas):
+    """Path of PageRank densities over a grid of teleport parameters."""
+    sdp = SpectralSDP.from_graph(graph)
+    optimum, _ = sdp.exact_solution()
+    regularizer = LogDeterminant()
+    points = []
+    for gamma in gammas:
+        eta, _mu = eta_for_pagerank(sdp, gamma)
+        ambient = pagerank_density(sdp, gamma)
+        points.append(_point(sdp, ambient, gamma, eta, regularizer, optimum))
+    return points
+
+
+def lazy_walk_path(graph, step_counts, *, alpha=0.6):
+    """Path of lazy-walk densities over a grid of step counts ``k``."""
+    sdp = SpectralSDP.from_graph(graph)
+    optimum, _ = sdp.exact_solution()
+    points = []
+    for k in step_counts:
+        eta, p = eta_for_lazy_walk(sdp, alpha, int(k))
+        regularizer = MatrixPNorm(p)
+        ambient = lazy_walk_density(sdp, alpha, int(k))
+        points.append(_point(sdp, ambient, k, eta, regularizer, optimum))
+    return points
+
+
+def tradeoff_table(points):
+    """Summarize a path as (parameter, rayleigh, entropy, distance) rows."""
+    return [
+        (p.parameter, p.rayleigh, p.entropy, p.distance_to_optimum)
+        for p in points
+    ]
+
+
+def path_is_monotone(points, attribute, *, increasing=True, atol=1e-9):
+    """Check monotonicity of an attribute along a path.
+
+    The theory predicts, e.g., that ``rayleigh`` decreases and ``entropy``
+    decreases as the heat-kernel time grows (less regularization); tests use
+    this helper to assert those shapes.
+    """
+    values = [getattr(p, attribute) for p in points]
+    pairs = zip(values[:-1], values[1:])
+    if increasing:
+        return all(b >= a - atol for a, b in pairs)
+    return all(b <= a + atol for a, b in pairs)

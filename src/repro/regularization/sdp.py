@@ -1,0 +1,156 @@
+"""The spectral SDP (Problem (4)) and its feasible region.
+
+Problem (3) of the paper — minimize the Rayleigh quotient ``x^T 𝓛 x`` over
+unit vectors orthogonal to the trivial eigenvector — relaxes to the SDP of
+Problem (4):
+
+    minimize    Tr(𝓛 X)
+    subject to  X ⪰ 0,  Tr(X) = 1,  X D^{1/2} 1 = 0,
+
+an optimization over *density matrices* supported on the complement of the
+trivial direction. The relaxation is tight: the optimum is the rank-one
+matrix ``X* = v2 v2^T``.
+
+The linear constraint ``X D^{1/2} 1 = 0`` is handled here by **deflation**:
+choose an orthonormal basis ``Q`` (an ``n × (n-1)`` matrix) of the subspace
+orthogonal to ``D^{1/2} 1`` and parameterize ``X = Q Y Q^T`` with ``Y`` on
+the standard spectrahedron ``{Y ⪰ 0, Tr Y = 1}``. All regularized solvers in
+this package work in the deflated coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.matrices import normalized_laplacian, trivial_eigenvector
+
+
+def deflation_basis(unit_vector):
+    """Orthonormal basis ``Q`` of the hyperplane orthogonal to a unit vector.
+
+    Returns an ``(n, n-1)`` matrix with orthonormal columns spanning
+    ``unit_vector^⊥``, computed from a Householder reflection (exact
+    orthogonality, no Gram–Schmidt drift).
+    """
+    v = np.asarray(unit_vector, dtype=float)
+    n = v.shape[0]
+    if n < 2:
+        raise InvalidParameterError("deflation needs dimension >= 2")
+    norm = np.linalg.norm(v)
+    if not np.isclose(norm, 1.0, atol=1e-8):
+        raise InvalidParameterError("deflation vector must be unit norm")
+    # Householder vector mapping e_1 to v: H = I - 2 w w^T, H e_1 = ±v.
+    sign = 1.0 if v[0] >= 0 else -1.0
+    w = v.copy()
+    w[0] += sign
+    w /= np.linalg.norm(w)
+    # Columns 2..n of H = I - 2 w w^T are an orthonormal basis of v^⊥.
+    H = np.eye(n) - 2.0 * np.outer(w, w)
+    return H[:, 1:]
+
+
+@dataclass
+class SpectralSDP:
+    """The deflated spectral SDP for a graph.
+
+    Attributes
+    ----------
+    laplacian:
+        Dense normalized Laplacian ``𝓛`` (n × n).
+    trivial:
+        Unit trivial eigenvector ``D^{1/2} 1 / ||·||``.
+    basis:
+        ``(n, n-1)`` deflation basis ``Q``.
+    deflated_laplacian:
+        ``L̂ = Q^T 𝓛 Q`` — the operator the density matrix actually sees.
+    """
+
+    laplacian: np.ndarray
+    trivial: np.ndarray
+    basis: np.ndarray
+    deflated_laplacian: np.ndarray
+
+    @classmethod
+    def from_graph(cls, graph):
+        """Build the deflated SDP data for a connected graph."""
+        laplacian = normalized_laplacian(graph).toarray()
+        trivial = trivial_eigenvector(graph)
+        basis = deflation_basis(trivial)
+        deflated = basis.T @ laplacian @ basis
+        deflated = (deflated + deflated.T) / 2.0
+        return cls(
+            laplacian=laplacian,
+            trivial=trivial,
+            basis=basis,
+            deflated_laplacian=deflated,
+        )
+
+    @property
+    def dimension(self):
+        """Ambient dimension ``n``."""
+        return self.laplacian.shape[0]
+
+    def lift(self, deflated_matrix):
+        """Map a deflated density matrix ``Y`` to ambient ``X = Q Y Q^T``."""
+        return self.basis @ deflated_matrix @ self.basis.T
+
+    def restrict(self, ambient_matrix):
+        """Map an ambient symmetric matrix to deflated coordinates."""
+        return self.basis.T @ ambient_matrix @ self.basis
+
+    def objective(self, ambient_density):
+        """``Tr(𝓛 X)`` for an ambient density matrix."""
+        return float(np.trace(self.laplacian @ ambient_density))
+
+    def exact_solution(self):
+        """The unregularized optimum ``X* = v2 v2^T`` and its value λ2."""
+        values, vectors = np.linalg.eigh(self.deflated_laplacian)
+        y = vectors[:, 0]
+        x = self.basis @ y
+        return np.outer(x, x), float(values[0])
+
+    def feasibility_violations(self, ambient_density):
+        """Measure how far a matrix is from the feasible region.
+
+        Returns a dict with keys ``symmetry``, ``trace`` (|Tr X − 1|),
+        ``psd`` (magnitude of the most negative eigenvalue), and
+        ``deflation`` (norm of ``X D^{1/2} 1``).
+        """
+        X = np.asarray(ambient_density, dtype=float)
+        sym = float(np.abs(X - X.T).max())
+        trace = abs(float(np.trace(X)) - 1.0)
+        eigenvalues = np.linalg.eigvalsh((X + X.T) / 2.0)
+        psd = float(max(0.0, -eigenvalues.min()))
+        deflation = float(np.linalg.norm(X @ self.trivial))
+        return {
+            "symmetry": sym,
+            "trace": trace,
+            "psd": psd,
+            "deflation": deflation,
+        }
+
+    def is_feasible(self, ambient_density, *, tol=1e-8):
+        """Whether all feasibility violations are below ``tol``."""
+        violations = self.feasibility_violations(ambient_density)
+        return all(v <= tol for v in violations.values())
+
+
+def density_from_vector(vector):
+    """Rank-one density matrix ``x x^T / ||x||^2`` of a nonzero vector."""
+    x = np.asarray(vector, dtype=float)
+    norm_sq = float(x @ x)
+    if norm_sq == 0:
+        raise InvalidParameterError("cannot form a density from the zero vector")
+    return np.outer(x, x) / norm_sq
+
+
+def normalize_to_density(matrix):
+    """Scale a nonzero PSD matrix to unit trace."""
+    M = np.asarray(matrix, dtype=float)
+    trace = float(np.trace(M))
+    if trace <= 0:
+        raise InvalidParameterError("matrix must have positive trace")
+    return M / trace

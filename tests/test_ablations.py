@@ -1,0 +1,149 @@
+"""Ablation tests for the design choices called out in DESIGN.md §5.
+
+Each ablation switches one component off and verifies the measured effect
+that justified it: MQI after multilevel bisection, support-restricted
+sweeps, Lanczos vs power method, and the closed forms vs the generic
+solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_atp_dblp
+from repro.graph.random_generators import whiskered_expander
+from repro.ncp.profile import flow_cluster_ensemble_ncp
+from repro.partition import sweep_cut
+from repro.regularization import (
+    GeneralizedEntropy,
+    SpectralSDP,
+    mirror_descent,
+)
+
+
+class TestMQIAblation:
+    """DESIGN.md §5: MQI is what pushes the flow curve down."""
+
+    def test_mqi_improves_flow_ensemble(self):
+        graph = whiskered_expander(120, 4, 12, 6, seed=3)
+        with_mqi = flow_cluster_ensemble_ncp(
+            graph, min_size=4, seed=0, improve_with_mqi=True
+        )
+        without_mqi = flow_cluster_ensemble_ncp(
+            graph, min_size=4, seed=0, improve_with_mqi=False
+        )
+        best_with = min(c.conductance for c in with_mqi)
+        best_without = min(c.conductance for c in without_mqi)
+        assert best_with <= best_without + 1e-12
+
+    def test_mqi_strictly_helps_on_atp(self):
+        graph = synthetic_atp_dblp(scale="tiny", seed=5).graph
+        with_mqi = flow_cluster_ensemble_ncp(
+            graph, min_size=4, seed=1, improve_with_mqi=True
+        )
+        without_mqi = flow_cluster_ensemble_ncp(
+            graph, min_size=4, seed=1, improve_with_mqi=False
+        )
+        # Averaged over mid-size candidates, MQI lowers conductance.
+        def mean_phi(candidates):
+            mid = [c.conductance for c in candidates if 8 <= c.size <= 128]
+            return float(np.mean(mid)) if mid else float("inf")
+
+        assert mean_phi(with_mqi) <= mean_phi(without_mqi) + 1e-9
+
+
+class TestLocalSweepAblation:
+    """DESIGN.md §5: strong locality comes from restricting the sweep."""
+
+    def test_restricted_sweep_touches_fewer_nodes(self):
+        from repro.diffusion import approximate_ppr_push, indicator_seed
+
+        graph = whiskered_expander(200, 4, 10, 6, seed=2)
+        seed_vector = indicator_seed(graph, [202])
+        push = approximate_ppr_push(
+            graph, seed_vector, alpha=0.1, epsilon=1e-4
+        )
+        support = np.flatnonzero(push.approximation > 0)
+        restricted = sweep_cut(
+            graph, push.approximation, restrict_to=support
+        )
+        unrestricted = sweep_cut(graph, push.approximation)
+        # Restricted sweep examines only the support.
+        assert restricted.order.size == support.size
+        assert unrestricted.order.size == graph.num_nodes
+        # And on the support it finds the same local cluster.
+        assert restricted.conductance <= unrestricted.conductance + 1e-9
+
+    def test_restriction_preserves_local_quality(self, whiskered):
+        from repro.diffusion import approximate_ppr_push, indicator_seed
+
+        seed_vector = indicator_seed(whiskered, [41])
+        push = approximate_ppr_push(
+            whiskered, seed_vector, alpha=0.05, epsilon=1e-5
+        )
+        support = np.flatnonzero(push.approximation > 0)
+        restricted = sweep_cut(
+            whiskered, push.approximation, restrict_to=support
+        )
+        # The whisker cut (phi = 1/9) is found inside the support alone.
+        assert restricted.conductance <= 1 / 9 + 1e-9
+
+
+class TestSolverVsClosedFormAblation:
+    """DESIGN.md §5: the generic solver validates the closed forms."""
+
+    def test_mirror_descent_reaches_closed_form_value(self, ring):
+        sdp = SpectralSDP.from_graph(ring)
+        regularizer = GeneralizedEntropy()
+        eta = 2.0
+        closed = regularizer.closed_form(sdp.deflated_laplacian, eta)
+        closed_value = float(
+            np.trace(sdp.deflated_laplacian @ closed)
+            + regularizer.value(closed) / eta
+        )
+        solve = mirror_descent(
+            sdp.deflated_laplacian, regularizer, eta,
+            max_iterations=3000, tol=1e-12,
+        )
+        assert solve.objective == pytest.approx(closed_value, abs=1e-8)
+
+    def test_solver_from_warm_start_stays_at_optimum(self, barbell):
+        sdp = SpectralSDP.from_graph(barbell)
+        regularizer = GeneralizedEntropy()
+        eta = 1.0
+        closed = regularizer.closed_form(sdp.deflated_laplacian, eta)
+        solve = mirror_descent(
+            sdp.deflated_laplacian, regularizer, eta,
+            initial=closed, max_iterations=50, tol=1e-12,
+        )
+        assert np.linalg.norm(solve.solution - closed) < 1e-8
+
+
+class TestEigensolverAblation:
+    """DESIGN.md §5: Lanczos vs power method accuracy/iteration tradeoff."""
+
+    def test_lanczos_fewer_matvecs_same_accuracy(self, grid):
+        from repro.graph.matrices import (
+            normalized_laplacian,
+            trivial_eigenvector,
+        )
+        from repro.linalg.fiedler import fiedler_value
+        from repro.linalg.lanczos import lanczos_extreme_eigenpairs
+        from repro.linalg.power import power_method
+
+        lam2 = fiedler_value(grid, method="exact")
+        laplacian = normalized_laplacian(grid)
+        trivial = trivial_eigenvector(grid)
+        power = power_method(
+            lambda x: 2 * x - laplacian @ x, grid.num_nodes,
+            deflate=[trivial], tol=1e-8, max_iterations=100_000, seed=0,
+        )
+        values, _ = lanczos_extreme_eigenpairs(
+            laplacian, grid.num_nodes, 1, which="smallest",
+            num_steps=50, deflate=[trivial], seed=0,
+        )
+        power_error = abs((2 - power.eigenvalue) - lam2)
+        lanczos_error = abs(values[0] - lam2)
+        assert lanczos_error <= max(power_error, 1e-9)
+        assert 50 < power.iterations

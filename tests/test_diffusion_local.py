@@ -1,0 +1,155 @@
+"""Tests for strongly local diffusion algorithms (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.hk_push import (
+    heat_kernel_push,
+    poisson_tail,
+    terms_for_tail,
+)
+from repro.diffusion.pagerank import lazy_pagerank_exact
+from repro.diffusion.push import (
+    approximate_ppr_push,
+    push_invariant_residual,
+)
+from repro.diffusion.seeds import indicator_seed
+from repro.diffusion.truncated_walk import (
+    truncated_lazy_walk,
+    untruncated_lazy_walk,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.random_generators import whiskered_expander
+
+
+class TestACLPush:
+    def test_entrywise_error_bound(self, ring):
+        s = indicator_seed(ring, [0])
+        alpha, epsilon = 0.1, 1e-4
+        result = approximate_ppr_push(ring, s, alpha=alpha, epsilon=epsilon)
+        exact = lazy_pagerank_exact(ring, alpha, s)
+        gap = np.abs(result.approximation - exact)
+        assert np.all(gap <= epsilon * ring.degrees + 1e-12)
+
+    def test_approximation_underestimates(self, ring):
+        s = indicator_seed(ring, [0])
+        result = approximate_ppr_push(ring, s, alpha=0.1, epsilon=1e-4)
+        exact = lazy_pagerank_exact(ring, 0.1, s)
+        assert np.all(result.approximation <= exact + 1e-12)
+
+    def test_push_invariant_exact(self, ring):
+        s = indicator_seed(ring, [3])
+        result = approximate_ppr_push(ring, s, alpha=0.2, epsilon=1e-3)
+        assert push_invariant_residual(ring, result, s) < 1e-10
+
+    def test_residual_below_threshold(self, whiskered):
+        s = indicator_seed(whiskered, [5])
+        result = approximate_ppr_push(whiskered, s, alpha=0.1, epsilon=1e-4)
+        assert np.all(result.residual < result.epsilon * whiskered.degrees)
+
+    def test_work_bound(self, ring):
+        # Total pushed mass bound implies num_pushes <= 1/(eps*alpha).
+        s = indicator_seed(ring, [0])
+        alpha, epsilon = 0.15, 1e-3
+        result = approximate_ppr_push(ring, s, alpha=alpha, epsilon=epsilon)
+        assert result.num_pushes <= 1.0 / (epsilon * alpha) + 1
+
+    def test_strong_locality_support_independent_of_n(self):
+        # Same whisker seed, growing expander core: the touched set should
+        # not grow proportionally with n.
+        supports = []
+        for core in (64, 128, 256):
+            g = whiskered_expander(core, 4, 4, 6, seed=1)
+            seed_node = core  # first whisker node
+            s = indicator_seed(g, [seed_node])
+            result = approximate_ppr_push(g, s, alpha=0.2, epsilon=1e-3)
+            supports.append(result.touched.size)
+        assert max(supports) <= 3 * min(supports)
+        assert supports[-1] < 256  # far below the large graph's n
+
+    def test_smaller_epsilon_more_work(self, ring):
+        s = indicator_seed(ring, [0])
+        coarse = approximate_ppr_push(ring, s, alpha=0.1, epsilon=1e-2)
+        fine = approximate_ppr_push(ring, s, alpha=0.1, epsilon=1e-5)
+        assert fine.work >= coarse.work
+        assert fine.num_pushes >= coarse.num_pushes
+
+    def test_negative_seed_rejected(self, ring):
+        s = np.zeros(ring.num_nodes)
+        s[0] = -1.0
+        with pytest.raises(InvalidParameterError):
+            approximate_ppr_push(ring, s)
+
+
+class TestTruncatedWalk:
+    def test_error_bounded_by_dropped_mass(self, ring):
+        s = indicator_seed(ring, [0])
+        result = truncated_lazy_walk(ring, s, 8, epsilon=1e-4)
+        exact = untruncated_lazy_walk(ring, s, 8)
+        # The ℓ1 error is at most the total dropped mass.
+        assert np.abs(result.final - exact).sum() <= result.dropped_mass + 1e-12
+
+    def test_support_stays_local_on_whiskers(self, whiskered):
+        seed_node = 40  # first whisker node
+        s = indicator_seed(whiskered, [seed_node])
+        result = truncated_lazy_walk(whiskered, s, 6, epsilon=5e-3)
+        assert max(result.support_sizes) < whiskered.num_nodes / 2
+
+    def test_zero_epsilon_limit_matches_exact(self, ring):
+        s = indicator_seed(ring, [1])
+        result = truncated_lazy_walk(ring, s, 5, epsilon=1e-12)
+        exact = untruncated_lazy_walk(ring, s, 5)
+        assert np.allclose(result.final, exact, atol=1e-9)
+
+    def test_trajectory_lengths(self, ring):
+        s = indicator_seed(ring, [0])
+        result = truncated_lazy_walk(ring, s, 4, epsilon=1e-4)
+        assert len(result.trajectory) == 5  # seed + 4 steps
+        assert len(result.support_sizes) == 5
+
+    def test_mass_never_increases(self, ring):
+        s = indicator_seed(ring, [0])
+        result = truncated_lazy_walk(ring, s, 10, epsilon=1e-3)
+        masses = [v.sum() for v in result.trajectory]
+        assert all(b <= a + 1e-12 for a, b in zip(masses, masses[1:]))
+
+
+class TestHeatKernelPush:
+    def test_error_bound(self, ring):
+        from repro.diffusion.heat_kernel import heat_kernel_vector
+
+        s = indicator_seed(ring, [0])
+        t = 2.0
+        result = heat_kernel_push(ring, s, t, epsilon=1e-6)
+        exact = heat_kernel_vector(ring, s, t, kind="random_walk")
+        err = np.abs(result.approximation - exact).sum()
+        assert err <= result.dropped_mass + result.tail_bound + 1e-9
+
+    def test_poisson_tail_decreases(self):
+        tails = [poisson_tail(3.0, k) for k in (1, 5, 10, 20)]
+        assert tails == sorted(tails, reverse=True)
+        assert tails[-1] < 1e-6
+
+    def test_terms_for_tail(self):
+        n = terms_for_tail(4.0, 1e-8)
+        assert poisson_tail(4.0, n) <= 1e-8
+        assert poisson_tail(4.0, n - 1) > 1e-8
+
+    def test_locality_on_whiskers(self, whiskered):
+        seed_node = 40
+        s = indicator_seed(whiskered, [seed_node])
+        result = heat_kernel_push(whiskered, s, 3.0, epsilon=1e-3)
+        assert result.touched.size < whiskered.num_nodes
+
+    def test_larger_epsilon_smaller_support(self, ring):
+        s = indicator_seed(ring, [0])
+        tight = heat_kernel_push(ring, s, 3.0, epsilon=1e-7)
+        loose = heat_kernel_push(ring, s, 3.0, epsilon=1e-2)
+        assert loose.touched.size <= tight.touched.size
+
+    def test_t_zero_is_rounded_seed(self, ring):
+        s = indicator_seed(ring, [0])
+        result = heat_kernel_push(ring, s, 0.0, epsilon=1e-6, num_terms=3)
+        assert np.allclose(result.approximation, s, atol=1e-9)

@@ -1,0 +1,265 @@
+"""Unit tests for the Graph data structure and builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyGraphError, GraphError
+from repro.graph.build import (
+    empty_graph,
+    from_dense,
+    from_edges,
+    from_scipy_sparse,
+    union_disjoint,
+)
+from repro.graph.graph import Graph
+
+
+class TestFromEdges:
+    def test_simple_triangle(self):
+        g = from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.total_volume == 6.0
+
+    def test_endpoint_order_is_irrelevant(self):
+        a = from_edges(4, [(0, 1), (2, 1)])
+        b = from_edges(4, [(1, 0), (1, 2)])
+        assert a == b
+
+    def test_duplicate_edges_sum_by_default(self):
+        g = from_edges(2, [(0, 1), (1, 0)], [2.0, 3.0])
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_max(self):
+        g = from_edges(2, [(0, 1), (1, 0)], [2.0, 3.0], combine="max")
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_duplicate_edges_error(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            from_edges(2, [(0, 1), (1, 0)], combine="error")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            from_edges(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError, match="lie in"):
+            from_edges(2, [(0, 2)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            from_edges(2, [(0, 1)], [-1.0])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            from_edges(2, [(0, 1)], [0.0])
+
+    def test_non_integer_endpoints_rejected(self):
+        with pytest.raises(GraphError, match="integer"):
+            from_edges(3, np.array([[0.5, 1.0]]))
+
+    def test_empty_edge_list(self):
+        g = from_edges(4, [])
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+        assert np.all(g.degrees == 0)
+
+    def test_isolated_trailing_nodes_have_zero_degree(self):
+        g = from_edges(5, [(0, 1)])
+        assert g.degrees.tolist() == [1.0, 1.0, 0.0, 0.0, 0.0]
+
+
+class TestGraphAccessors:
+    def test_neighbors_sorted(self, barbell):
+        for u in range(barbell.num_nodes):
+            nbrs = barbell.neighbors(u)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_degree_matches_incident_weights(self, weighted_triangle):
+        g = weighted_triangle
+        for u in range(3):
+            assert g.degree(u) == pytest.approx(g.incident_weights(u).sum())
+
+    def test_weighted_degrees(self, weighted_triangle):
+        # edges: (0,1)=1, (1,2)=2, (0,2)=3
+        assert weighted_triangle.degrees.tolist() == [4.0, 3.0, 5.0]
+
+    def test_has_edge(self, small_path):
+        assert small_path.has_edge(0, 1)
+        assert small_path.has_edge(1, 0)
+        assert not small_path.has_edge(0, 2)
+
+    def test_edge_weight_absent_is_zero(self, small_path):
+        assert small_path.edge_weight(0, 5) == 0.0
+
+    def test_edges_iterator_each_edge_once(self, barbell):
+        edges = list(barbell.edges())
+        assert len(edges) == barbell.num_edges
+        assert all(u < v for u, v, _ in edges)
+
+    def test_edge_array_matches_iterator(self, ring):
+        us, vs, ws = ring.edge_array()
+        listed = {(u, v) for u, v, _ in ring.edges()}
+        assert set(zip(us.tolist(), vs.tolist())) == listed
+
+    def test_arrays_are_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.degrees[0] = 99.0
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 99.0
+
+    def test_repr_mentions_counts(self, triangle):
+        assert "num_nodes=3" in repr(triangle)
+
+    def test_equality_and_hash(self):
+        a = from_edges(3, [(0, 1), (1, 2)])
+        b = from_edges(3, [(1, 2), (0, 1)])
+        c = from_edges(3, [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestSetQuantities:
+    def test_volume(self, barbell):
+        left = list(range(8))
+        # K_8 side: 7*8 internal degree + 1 bridge endpoint
+        assert barbell.volume(left) == 7 * 8 + 1
+
+    def test_cut_weight_bridge(self, barbell):
+        assert barbell.cut_weight(list(range(8))) == 1.0
+
+    def test_cut_weight_complement_symmetric(self, ring):
+        side = list(range(12))
+        mask = np.zeros(ring.num_nodes, dtype=bool)
+        mask[side] = True
+        assert ring.cut_weight(mask) == pytest.approx(ring.cut_weight(~mask))
+
+    def test_edge_boundary_matches_cut_weight(self, lollipop):
+        side = list(range(8))
+        boundary = lollipop.edge_boundary(side)
+        assert sum(w for *_e, w in boundary) == pytest.approx(
+            lollipop.cut_weight(side)
+        )
+
+    def test_boolean_mask_accepted(self, triangle):
+        mask = np.array([True, False, False])
+        assert triangle.volume(mask) == 2.0
+
+    def test_bad_mask_shape_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.volume(np.array([True, False]))
+
+
+class TestTraversal:
+    def test_bfs_distances_path(self, small_path):
+        dist = small_path.bfs_distances(0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_bfs_max_distance(self, small_path):
+        dist = small_path.bfs_distances(0, max_distance=2)
+        assert dist.tolist() == [0, 1, 2, -1, -1, -1]
+
+    def test_connected_components_two_pieces(self):
+        g = from_edges(5, [(0, 1), (2, 3)])
+        labels, count = g.connected_components()
+        assert count == 3  # {0,1}, {2,3}, {4}
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_is_connected(self, barbell):
+        assert barbell.is_connected()
+        assert not from_edges(3, [(0, 1)]).is_connected()
+        assert not empty_graph(0).is_connected()
+
+    def test_largest_component(self):
+        g = from_edges(7, [(0, 1), (1, 2), (3, 4)])
+        sub, ids = g.largest_component()
+        assert sub.num_nodes == 3
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_largest_component_empty_raises(self):
+        with pytest.raises(EmptyGraphError):
+            empty_graph(0).largest_component()
+
+
+class TestInducedSubgraph:
+    def test_preserves_edges_and_weights(self, weighted_triangle):
+        sub, ids = weighted_triangle.induced_subgraph([0, 2])
+        assert sub.num_nodes == 2
+        assert sub.edge_weight(0, 1) == 3.0
+        assert ids.tolist() == [0, 2]
+
+    def test_empty_selection(self, triangle):
+        sub, ids = triangle.induced_subgraph([])
+        assert sub.num_nodes == 0
+        assert ids.size == 0
+
+    def test_full_selection_is_identity(self, ring):
+        sub, ids = ring.induced_subgraph(range(ring.num_nodes))
+        assert sub == ring
+
+    def test_clique_from_barbell(self, barbell):
+        sub, _ = barbell.induced_subgraph(range(8))
+        assert sub.num_edges == 8 * 7 // 2
+
+
+class TestConversions:
+    def test_to_dense_symmetric(self, weighted_triangle):
+        dense = weighted_triangle.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert dense[0, 1] == 1.0 and dense[1, 2] == 2.0 and dense[0, 2] == 3.0
+
+    def test_from_dense_roundtrip(self, weighted_triangle):
+        rebuilt = from_dense(weighted_triangle.to_dense())
+        assert rebuilt == weighted_triangle
+
+    def test_from_dense_rejects_asymmetric(self):
+        with pytest.raises(GraphError, match="symmetric"):
+            from_dense([[0, 1], [0, 0]])
+
+    def test_from_dense_rejects_diagonal(self):
+        with pytest.raises(GraphError, match="diagonal"):
+            from_dense([[1, 0], [0, 0]])
+
+    def test_from_scipy_sparse_roundtrip(self, ring):
+        from repro.graph.matrices import adjacency_matrix
+
+        rebuilt = from_scipy_sparse(adjacency_matrix(ring))
+        assert rebuilt == ring
+
+
+class TestUnionDisjoint:
+    def test_sizes_add(self, triangle, small_path):
+        combined = union_disjoint(triangle, small_path)
+        assert combined.num_nodes == 9
+        assert combined.num_edges == triangle.num_edges + small_path.num_edges
+
+    def test_bridge_edges(self, triangle, small_path):
+        combined = union_disjoint(triangle, small_path, bridge_edges=[(0, 0)])
+        assert combined.has_edge(0, 3)
+        assert combined.is_connected()
+
+
+class TestValidationOnConstruction:
+    def test_rejects_asymmetric_csr(self):
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        weights = np.array([1.0])
+        with pytest.raises(GraphError, match="symmetric"):
+            Graph(indptr, indices, weights)
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            Graph(np.array([1, 0]), np.array([]), np.array([]))
+
+    def test_rejects_unsorted_adjacency(self):
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0])
+        weights = np.ones(4)
+        with pytest.raises(GraphError, match="sorted"):
+            Graph(indptr, indices, weights)

@@ -1,0 +1,144 @@
+"""Tests for graph matrices against networkx oracles and spectral theory."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edges
+from repro.graph.matrices import (
+    adjacency_matrix,
+    combinatorial_laplacian,
+    degree_matrix,
+    laplacian_quadratic_form,
+    lazy_walk_matrix,
+    normalized_laplacian,
+    random_walk_matrix,
+    rayleigh_quotient,
+    trivial_eigenvector,
+)
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestAdjacencyAndDegrees:
+    def test_adjacency_matches_networkx(self, ring):
+        ours = adjacency_matrix(ring).toarray()
+        theirs = nx.to_numpy_array(to_networkx(ring), nodelist=range(ring.num_nodes))
+        assert np.allclose(ours, theirs)
+
+    def test_degree_matrix_diagonal(self, weighted_triangle):
+        D = degree_matrix(weighted_triangle).toarray()
+        assert np.allclose(np.diag(D), weighted_triangle.degrees)
+        assert np.allclose(D - np.diag(np.diag(D)), 0)
+
+
+class TestLaplacians:
+    def test_combinatorial_laplacian_matches_networkx(self, grid):
+        ours = combinatorial_laplacian(grid).toarray()
+        theirs = nx.laplacian_matrix(
+            to_networkx(grid), nodelist=range(grid.num_nodes)
+        ).toarray()
+        assert np.allclose(ours, theirs)
+
+    def test_normalized_laplacian_matches_networkx(self, ring):
+        ours = normalized_laplacian(ring).toarray()
+        theirs = nx.normalized_laplacian_matrix(
+            to_networkx(ring), nodelist=range(ring.num_nodes)
+        ).toarray()
+        assert np.allclose(ours, theirs)
+
+    def test_laplacian_rows_sum_to_zero(self, barbell):
+        L = combinatorial_laplacian(barbell).toarray()
+        assert np.allclose(L.sum(axis=1), 0.0)
+
+    def test_laplacian_psd(self, whiskered):
+        L = combinatorial_laplacian(whiskered).toarray()
+        eigenvalues = np.linalg.eigvalsh(L)
+        assert eigenvalues.min() >= -1e-10
+
+    def test_normalized_laplacian_spectrum_in_0_2(self, planted):
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(planted).toarray())
+        assert eigenvalues.min() >= -1e-10
+        assert eigenvalues.max() <= 2.0 + 1e-10
+
+    def test_normalized_laplacian_rejects_isolated_node(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError, match="positive"):
+            normalized_laplacian(g)
+
+    def test_quadratic_form_matches_matrix(self, weighted_triangle, rng):
+        x = rng.standard_normal(3)
+        L = combinatorial_laplacian(weighted_triangle)
+        assert laplacian_quadratic_form(weighted_triangle, x) == pytest.approx(
+            float(x @ (L @ x))
+        )
+
+    def test_quadratic_form_zero_on_constants(self, grid):
+        ones = np.ones(grid.num_nodes)
+        assert laplacian_quadratic_form(grid, ones) == pytest.approx(0.0)
+
+
+class TestWalkMatrices:
+    def test_random_walk_columns_stochastic(self, lollipop):
+        M = random_walk_matrix(lollipop).toarray()
+        assert np.allclose(M.sum(axis=0), 1.0)
+        assert np.all(M >= 0)
+
+    def test_lazy_walk_columns_stochastic(self, lollipop):
+        W = lazy_walk_matrix(lollipop, 0.3).toarray()
+        assert np.allclose(W.sum(axis=0), 1.0)
+        assert np.allclose(np.diag(W), 0.3)
+
+    def test_lazy_walk_preserves_probability(self, ring, rng):
+        W = lazy_walk_matrix(ring, 0.5)
+        p = rng.random(ring.num_nodes)
+        p /= p.sum()
+        assert (W @ p).sum() == pytest.approx(1.0)
+
+    def test_stationary_distribution_is_degree(self, barbell):
+        M = random_walk_matrix(barbell)
+        pi = barbell.degrees / barbell.total_volume
+        assert np.allclose(M @ pi, pi)
+
+
+class TestTrivialEigenvector:
+    def test_kernel_of_normalized_laplacian(self, whiskered):
+        v1 = trivial_eigenvector(whiskered)
+        L = normalized_laplacian(whiskered)
+        assert np.abs(L @ v1).max() < 1e-12
+        assert np.linalg.norm(v1) == pytest.approx(1.0)
+
+    def test_proportional_to_sqrt_degrees(self, weighted_triangle):
+        v1 = trivial_eigenvector(weighted_triangle)
+        expected = np.sqrt(weighted_triangle.degrees)
+        expected /= np.linalg.norm(expected)
+        assert np.allclose(v1, expected)
+
+
+class TestRayleighQuotient:
+    def test_bounded_by_spectrum(self, ring, rng):
+        L = normalized_laplacian(ring)
+        eigenvalues = np.linalg.eigvalsh(L.toarray())
+        for _ in range(5):
+            x = rng.standard_normal(ring.num_nodes)
+            q = rayleigh_quotient(L, x)
+            assert eigenvalues.min() - 1e-10 <= q <= eigenvalues.max() + 1e-10
+
+    def test_eigenvector_achieves_eigenvalue(self, grid):
+        L = normalized_laplacian(grid).toarray()
+        values, vectors = np.linalg.eigh(L)
+        assert rayleigh_quotient(L, vectors[:, 3]) == pytest.approx(values[3])
+
+    def test_zero_vector_rejected(self, triangle):
+        L = normalized_laplacian(triangle)
+        with pytest.raises(GraphError):
+            rayleigh_quotient(L, np.zeros(3))

@@ -1,0 +1,197 @@
+"""Tests for graph operations, bipartite utilities, and I/O."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedGraphError, GraphError
+from repro.graph import ops
+from repro.graph.bipartite import (
+    bipartite_from_memberships,
+    community_bipartite_graph,
+    is_bipartite,
+    project_left,
+)
+from repro.graph.build import from_edges
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+from repro.graph.io import (
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_weighted_edges_from(graph.edges())
+    return g
+
+
+class TestOps:
+    def test_degree_histogram(self, barbell):
+        hist = ops.degree_histogram(barbell)
+        # Two bridge endpoints have degree 8, the other 14 have degree 7.
+        assert hist[7] == 14 and hist[8] == 2
+
+    def test_average_degree(self, triangle):
+        assert ops.average_degree(triangle) == pytest.approx(2.0)
+
+    def test_aspl_matches_networkx(self, ring):
+        ours = ops.average_shortest_path_length(ring)
+        theirs = nx.average_shortest_path_length(to_networkx(ring))
+        assert ours == pytest.approx(theirs)
+
+    def test_aspl_path_graph(self):
+        g = path_graph(4)
+        # Pairs: 1+2+3 + 1+2 + 1 = 10 over 6 pairs.
+        assert ops.average_shortest_path_length(g) == pytest.approx(10 / 6)
+
+    def test_aspl_sampled_sources(self, grid):
+        exact = ops.average_shortest_path_length(grid)
+        sampled = ops.average_shortest_path_length(grid, sources=range(0, 64, 4))
+        assert sampled == pytest.approx(exact, rel=0.2)
+
+    def test_aspl_disconnected_raises(self):
+        g = from_edges(4, [(0, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            ops.average_shortest_path_length(g, sources=[2])
+
+    def test_diameter_matches_networkx(self, lollipop):
+        assert ops.diameter(lollipop) == nx.diameter(to_networkx(lollipop))
+
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert ops.eccentricity(g, 0) == 4
+        assert ops.eccentricity(g, 2) == 2
+
+    def test_k_hop_ball(self, grid):
+        ball = ops.k_hop_ball(grid, 0, 1)
+        assert set(ball.tolist()) == {0, 1, 8}
+
+    def test_triangle_count_matches_networkx(self, planted):
+        ours = ops.triangle_count(planted)
+        theirs = sum(nx.triangles(to_networkx(planted)).values()) // 3
+        assert ours == theirs
+
+    def test_clustering_coefficient_complete(self):
+        from repro.graph.generators import complete_graph
+
+        assert ops.clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_star_zero(self):
+        assert ops.clustering_coefficient(star_graph(5)) == 0.0
+
+    def test_remove_edges(self, triangle):
+        g = ops.remove_edges(triangle, [(0, 1)])
+        assert g.num_edges == 2
+        assert not g.has_edge(0, 1)
+
+    def test_add_edges_merges(self, triangle):
+        g = ops.add_edges(triangle, [(0, 1)], [2.0])
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_relabel_preserves_structure(self, small_path):
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        g = ops.relabel(small_path, perm)
+        assert g.has_edge(5, 4)
+        assert g.degrees[0] == 1  # old node 5
+
+    def test_relabel_rejects_non_permutation(self, triangle):
+        with pytest.raises(GraphError):
+            ops.relabel(triangle, [0, 0, 1])
+
+
+class TestBipartite:
+    def test_from_memberships(self):
+        g, num_right = bipartite_from_memberships(3, [[0, 1], [1, 2]])
+        assert num_right == 2
+        assert g.num_nodes == 5
+        assert g.has_edge(0, 3) and g.has_edge(2, 4)
+
+    def test_is_bipartite_detects_odd_cycle(self):
+        flag, _ = is_bipartite(cycle_graph(5))
+        assert not flag
+        flag, coloring = is_bipartite(cycle_graph(6))
+        assert flag
+        assert coloring is not None
+
+    def test_generator_output_is_bipartite(self):
+        g, _, _ = community_bipartite_graph(50, 80, 4, seed=1)
+        flag, coloring = is_bipartite(g)
+        assert flag
+
+    def test_projection_weights_count_common_papers(self):
+        # Two papers, both written by authors 0 and 1.
+        g, _ = bipartite_from_memberships(2, [[0, 1], [0, 1]])
+        co = project_left(g, 2)
+        assert co.edge_weight(0, 1) == 2.0
+
+    def test_generator_deterministic(self):
+        a = community_bipartite_graph(40, 60, 3, seed=9)[0]
+        b = community_bipartite_graph(40, 60, 3, seed=9)[0]
+        assert a == b
+
+    def test_community_structure_present(self):
+        g, authors, papers = community_bipartite_graph(
+            100, 200, 4, seed=2, crossover_probability=0.02
+        )
+        # Authors of one community plus its papers should cut few edges.
+        community0_authors = [
+            a for a, c in enumerate(authors) if 0 in c and len(c) == 1
+        ]
+        community0_papers = [
+            100 + p for p in range(200) if papers[p] == 0
+        ]
+        cluster = community0_authors + community0_papers
+        if 0 < len(cluster) < g.num_nodes:
+            from repro.partition.metrics import conductance
+
+            phi = conductance(g, cluster)
+            assert phi < 0.5
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, weighted_triangle, tmp_path):
+        target = tmp_path / "g.tsv"
+        write_edge_list(weighted_triangle, target)
+        rebuilt = read_edge_list(target)
+        assert rebuilt == weighted_triangle
+
+    def test_edge_list_unweighted(self, ring, tmp_path):
+        target = tmp_path / "g.tsv"
+        write_edge_list(ring, target, write_weights=False)
+        rebuilt = read_edge_list(target)
+        assert rebuilt == ring
+
+    def test_edge_list_explicit_num_nodes(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text("0\t1\n", encoding="utf-8")
+        g = read_edge_list(target, num_nodes=5)
+        assert g.num_nodes == 5
+
+    def test_edge_list_bad_line_raises(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text("0 1 2 3\n", encoding="utf-8")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(target)
+
+    def test_edge_list_unparseable_raises(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text("a b\n", encoding="utf-8")
+        with pytest.raises(GraphError, match="unparseable"):
+            read_edge_list(target)
+
+    def test_json_roundtrip(self, weighted_triangle, tmp_path):
+        target = tmp_path / "g.json"
+        write_json(weighted_triangle, target)
+        assert read_json(target) == weighted_triangle
+
+    def test_json_missing_keys(self):
+        from repro.graph.io import from_json_document
+
+        with pytest.raises(GraphError):
+            from_json_document({"edges": []})

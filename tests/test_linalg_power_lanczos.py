@@ -1,0 +1,150 @@
+"""Tests for the power method and Lanczos eigensolvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.graph.matrices import normalized_laplacian, trivial_eigenvector
+from repro.linalg.lanczos import lanczos, lanczos_extreme_eigenpairs
+from repro.linalg.power import power_method, power_method_trajectory
+
+
+def random_spd(n, rng, *, spread=10.0):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    values = np.linspace(1.0, spread, n)
+    return (q * values) @ q.T, values, q
+
+
+class TestPowerMethod:
+    def test_dominant_eigenpair(self, rng):
+        A, values, q = random_spd(12, rng)
+        result = power_method(A, 12, seed=0)
+        assert result.converged
+        assert result.eigenvalue == pytest.approx(values[-1], rel=1e-8)
+        top = q[:, -1]
+        assert min(
+            np.linalg.norm(result.eigenvector - top),
+            np.linalg.norm(result.eigenvector + top),
+        ) < 1e-6
+
+    def test_callable_operator(self, rng):
+        A, values, _ = random_spd(8, rng)
+        result = power_method(lambda x: A @ x, 8, seed=1)
+        assert result.eigenvalue == pytest.approx(values[-1], rel=1e-8)
+
+    def test_deflation_finds_second(self, rng):
+        A, values, q = random_spd(10, rng)
+        result = power_method(A, 10, deflate=[q[:, -1]], seed=2)
+        assert result.eigenvalue == pytest.approx(values[-2], rel=1e-6)
+
+    def test_residual_reported(self, rng):
+        A, _, _ = random_spd(6, rng)
+        result = power_method(A, 6, seed=3)
+        assert result.residual < 1e-6
+
+    def test_eigenvalue_history_monotone_for_psd(self, rng):
+        # On a PSD matrix, the Rayleigh quotient of power iterates is
+        # nondecreasing.
+        A, _, _ = random_spd(9, rng)
+        result = power_method(A, 9, seed=4, keep_iterates=True)
+        history = result.eigenvalue_history
+        assert all(b >= a - 1e-9 for a, b in zip(history, history[1:]))
+
+    def test_nonconvergence_raises(self, rng):
+        A, _, _ = random_spd(20, rng, spread=1.05)  # tiny gap: slow
+        with pytest.raises(ConvergenceError):
+            power_method(A, 20, tol=1e-14, max_iterations=3, seed=5)
+
+    def test_nonconvergence_tolerated(self, rng):
+        A, _, _ = random_spd(20, rng, spread=1.05)
+        result = power_method(
+            A, 20, tol=1e-14, max_iterations=3, seed=5,
+            raise_on_failure=False,
+        )
+        assert not result.converged
+
+    def test_start_in_deflated_space_rejected(self, rng):
+        A, _, q = random_spd(5, rng)
+        with pytest.raises(InvalidParameterError):
+            power_method(A, 5, x0=q[:, 0], deflate=[q[:, 0]])
+
+    def test_trajectory_length(self, rng):
+        A, _, _ = random_spd(7, rng)
+        iterates = power_method_trajectory(A, 7, 5, seed=6)
+        assert len(iterates) == 5
+        for v in iterates:
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+
+
+class TestLanczos:
+    def test_full_decomposition_reproduces_spectrum(self, rng):
+        A, values, _ = random_spd(15, rng)
+        decomposition = lanczos(A, 15, 15, seed=0)
+        ritz, _ = decomposition.ritz_pairs()
+        assert np.allclose(np.sort(ritz), values, atol=1e-8)
+
+    def test_partial_decomposition_relation(self, rng):
+        # A V_k = V_k T_k + beta_k v_{k+1} e_k^T implies
+        # ||A V - V T|| has rank-one structure; check column residuals.
+        A, _, _ = random_spd(20, rng)
+        k = 8
+        d = lanczos(A, 20, k, seed=1)
+        T = np.diag(d.alphas) + np.diag(d.betas, 1) + np.diag(d.betas, -1)
+        residual = A @ d.basis - d.basis @ T
+        # All but the last column should be ~0.
+        assert np.abs(residual[:, :-1]).max() < 1e-8
+
+    def test_basis_orthonormal(self, rng):
+        A, _, _ = random_spd(25, rng)
+        d = lanczos(A, 25, 12, seed=2)
+        gram = d.basis.T @ d.basis
+        assert np.allclose(gram, np.eye(12), atol=1e-10)
+
+    def test_extreme_eigenpairs_smallest(self, rng):
+        A, values, q = random_spd(18, rng)
+        got_values, got_vectors = lanczos_extreme_eigenpairs(
+            A, 18, 2, which="smallest", num_steps=18, seed=3
+        )
+        assert np.allclose(got_values, values[:2], atol=1e-8)
+        for j in range(2):
+            overlap = abs(got_vectors[:, j] @ q[:, j])
+            assert overlap == pytest.approx(1.0, abs=1e-6)
+
+    def test_extreme_eigenpairs_largest(self, rng):
+        A, values, _ = random_spd(18, rng)
+        got_values, _ = lanczos_extreme_eigenpairs(
+            A, 18, 3, which="largest", num_steps=18, seed=4
+        )
+        assert np.allclose(got_values, values[-3:], atol=1e-8)
+
+    def test_breakdown_on_low_rank(self):
+        # Rank-2 matrix: Krylov space is invariant after 2 steps.
+        u = np.array([1.0, 0, 0, 0])
+        v = np.array([0, 1.0, 0, 0])
+        A = 3 * np.outer(u, u) + 2 * np.outer(v, v)
+        d = lanczos(A, 4, 4, v0=u + v)
+        assert d.breakdown
+        assert d.num_steps <= 3
+
+    def test_deflation_respected(self, ring):
+        L = normalized_laplacian(ring)
+        trivial = trivial_eigenvector(ring)
+        d = lanczos(L, ring.num_nodes, 20, deflate=[trivial], seed=5)
+        # All basis vectors orthogonal to the trivial direction.
+        assert np.abs(d.basis.T @ trivial).max() < 1e-10
+
+    def test_invalid_which_rejected(self, rng):
+        A, _, _ = random_spd(5, rng)
+        with pytest.raises(InvalidParameterError):
+            lanczos_extreme_eigenpairs(A, 5, 1, which="middle")
+
+    def test_lanczos_matches_numpy_on_laplacian(self, grid):
+        L = normalized_laplacian(grid)
+        exact = np.linalg.eigvalsh(L.toarray())
+        got, _ = lanczos_extreme_eigenpairs(
+            L, grid.num_nodes, 1, which="smallest",
+            num_steps=grid.num_nodes, seed=6,
+        )
+        assert got[0] == pytest.approx(exact[0], abs=1e-9)

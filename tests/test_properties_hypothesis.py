@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the load-bearing algebraic identities: graph/CSR invariants,
+Laplacian spectra, conductance symmetry, diffusion mass conservation, the
+push invariant, max-flow/min-cut duality, and the regularized-SDP
+equivalence — each over randomized instances rather than fixed examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges
+from repro.graph.matrices import (
+    laplacian_quadratic_form,
+    normalized_laplacian,
+    trivial_eigenvector,
+)
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=3, max_nodes=16):
+    """Random connected weighted graphs: random tree + extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = {}
+    # Random spanning tree guarantees connectivity.
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges[(u, v)] = draw(
+            st.floats(0.25, 4.0, allow_nan=False, allow_infinity=False)
+        )
+    extra = draw(st.integers(0, min(12, n * (n - 1) // 2 - (n - 1))))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in edges:
+            edges[key] = draw(st.floats(0.25, 4.0, allow_nan=False))
+    pairs = sorted(edges)
+    return from_edges(n, pairs, [edges[p] for p in pairs])
+
+
+@st.composite
+def node_subsets(draw, graph):
+    """A nonempty proper node subset of the given graph."""
+    n = graph.num_nodes
+    members = draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=n - 1,
+                 unique=True)
+    )
+    if len(members) == n:
+        members = members[:-1]
+    return members
+
+
+class TestGraphInvariants:
+    @given(connected_graphs())
+    def test_handshake_lemma(self, graph):
+        total_weight = sum(w for *_e, w in graph.edges())
+        assert graph.total_volume == pytest.approx(2 * total_weight)
+
+    @given(connected_graphs())
+    def test_adjacency_symmetric(self, graph):
+        dense = graph.to_dense()
+        assert np.allclose(dense, dense.T)
+
+    @given(connected_graphs())
+    def test_induced_subgraph_consistency(self, graph):
+        k = max(1, graph.num_nodes // 2)
+        chosen = list(range(k))
+        sub, ids = graph.induced_subgraph(chosen)
+        for i, u in enumerate(ids):
+            for j, v in enumerate(ids):
+                assert sub.edge_weight(i, j) == pytest.approx(
+                    graph.edge_weight(int(u), int(v))
+                )
+
+    @given(connected_graphs(), st.integers(0, 10_000))
+    def test_cut_weight_complement_symmetry(self, graph, salt):
+        rng = np.random.default_rng(salt)
+        k = int(rng.integers(1, graph.num_nodes))
+        side = rng.choice(graph.num_nodes, size=k, replace=False)
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[side] = True
+        assert graph.cut_weight(mask) == pytest.approx(
+            graph.cut_weight(~mask)
+        )
+
+    @given(connected_graphs())
+    def test_bfs_distances_triangle_inequality(self, graph):
+        dist0 = graph.bfs_distances(0)
+        for u, v, _w in graph.edges():
+            # Adjacent nodes differ by at most 1 hop from any source.
+            assert abs(dist0[u] - dist0[v]) <= 1
+
+
+class TestSpectralInvariants:
+    @given(connected_graphs())
+    def test_normalized_laplacian_spectrum(self, graph):
+        eigenvalues = np.linalg.eigvalsh(
+            normalized_laplacian(graph).toarray()
+        )
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+        assert abs(eigenvalues[0]) < 1e-9  # trivial eigenvalue
+
+    @given(connected_graphs())
+    def test_connected_iff_lambda2_positive(self, graph):
+        eigenvalues = np.linalg.eigvalsh(
+            normalized_laplacian(graph).toarray()
+        )
+        assert eigenvalues[1] > 1e-12
+
+    @given(connected_graphs(), st.integers(0, 10_000))
+    def test_quadratic_form_nonnegative(self, graph, salt):
+        rng = np.random.default_rng(salt)
+        x = rng.standard_normal(graph.num_nodes)
+        assert laplacian_quadratic_form(graph, x) >= -1e-12
+
+    @given(connected_graphs())
+    def test_trivial_eigenvector_in_kernel(self, graph):
+        L = normalized_laplacian(graph)
+        v1 = trivial_eigenvector(graph)
+        assert np.abs(L @ v1).max() < 1e-10
+
+
+class TestConductanceInvariants:
+    @given(connected_graphs(), st.integers(0, 10_000))
+    def test_conductance_in_unit_interval(self, graph, salt):
+        from repro.partition.metrics import conductance
+
+        rng = np.random.default_rng(salt)
+        k = int(rng.integers(1, graph.num_nodes))
+        side = rng.choice(graph.num_nodes, size=k, replace=False)
+        phi = conductance(graph, side)
+        assert 0.0 <= phi <= 1.0 + 1e-9
+
+    @given(connected_graphs(), st.integers(0, 10_000))
+    def test_sweep_cut_at_most_direct(self, graph, salt):
+        # The sweep's best prefix can't be worse than any specific prefix.
+        from repro.partition.metrics import conductance
+        from repro.partition.sweep import sweep_cut
+
+        rng = np.random.default_rng(salt)
+        scores = rng.random(graph.num_nodes)
+        result = sweep_cut(graph, scores, degree_normalize=False)
+        k = int(rng.integers(1, graph.num_nodes))
+        prefix = result.order[:k]
+        assert result.conductance <= conductance(graph, prefix) + 1e-9
+
+    @given(connected_graphs())
+    def test_cheeger_inequality(self, graph):
+        from repro.linalg.fiedler import fiedler_value
+        from repro.partition.spectral import spectral_cut
+
+        lam2 = fiedler_value(graph, method="exact")
+        result = spectral_cut(graph, method="exact")
+        assert lam2 / 2 - 1e-9 <= result.conductance
+        assert result.conductance <= np.sqrt(2 * lam2) + 1e-9
+
+
+class TestDiffusionInvariants:
+    @given(connected_graphs(), st.floats(0.05, 0.95),
+           st.integers(0, 10_000))
+    def test_pagerank_is_distribution(self, graph, gamma, salt):
+        from repro.diffusion.pagerank import pagerank_exact
+        from repro.diffusion.seeds import indicator_seed
+
+        rng = np.random.default_rng(salt)
+        seed_node = int(rng.integers(graph.num_nodes))
+        pr = pagerank_exact(graph, gamma, indicator_seed(graph, [seed_node]))
+        assert pr.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(pr >= -1e-10)
+
+    @given(connected_graphs(), st.floats(0.1, 5.0))
+    def test_heat_kernel_mass_conserved(self, graph, t):
+        from repro.diffusion.heat_kernel import heat_kernel_vector
+        from repro.diffusion.seeds import indicator_seed
+
+        s = indicator_seed(graph, [0])
+        h = heat_kernel_vector(graph, s, t, kind="random_walk")
+        assert h.sum() == pytest.approx(1.0, abs=1e-8)
+
+    @given(connected_graphs(), st.floats(0.05, 0.6),
+           st.sampled_from([1e-2, 1e-3, 1e-4]))
+    def test_push_invariant_and_error(self, graph, alpha, epsilon):
+        from repro.diffusion.pagerank import lazy_pagerank_exact
+        from repro.diffusion.push import approximate_ppr_push
+        from repro.diffusion.seeds import indicator_seed
+
+        s = indicator_seed(graph, [0])
+        result = approximate_ppr_push(
+            graph, s, alpha=alpha, epsilon=epsilon
+        )
+        exact = lazy_pagerank_exact(graph, alpha, s)
+        gap = np.abs(result.approximation - exact)
+        assert np.all(gap <= epsilon * graph.degrees + 1e-9)
+        assert np.all(result.residual <= epsilon * graph.degrees + 1e-12)
+
+
+class TestFlowInvariants:
+    @given(st.integers(0, 10_000))
+    def test_maxflow_mincut_duality_random(self, salt):
+        from repro.partition.maxflow import FlowNetwork
+
+        rng = np.random.default_rng(salt)
+        n = int(rng.integers(4, 10))
+        net = FlowNetwork(n)
+        for _ in range(int(rng.integers(5, 25))):
+            u, v = rng.integers(n, size=2)
+            if u != v:
+                net.add_edge(int(u), int(v), float(rng.integers(1, 8)))
+        result = net.max_flow(0, n - 1)
+        side = result.min_cut_source_side()
+        assert 0 in side and (n - 1) not in side
+        assert result.cut_capacity(side) == pytest.approx(result.value)
+
+    @given(connected_graphs(min_nodes=5), st.integers(0, 10_000))
+    def test_mqi_never_worsens(self, graph, salt):
+        from repro.partition.metrics import conductance
+        from repro.partition.mqi import mqi
+
+        rng = np.random.default_rng(salt)
+        k = int(rng.integers(2, graph.num_nodes - 1))
+        side = rng.choice(graph.num_nodes, size=k, replace=False)
+        if graph.degrees[side].sum() > graph.total_volume / 2:
+            mask = np.zeros(graph.num_nodes, dtype=bool)
+            mask[side] = True
+            side = np.flatnonzero(~mask)
+        if side.size == 0 or side.size == graph.num_nodes:
+            return
+        if graph.degrees[side].sum() > graph.total_volume / 2:
+            return
+        result = mqi(graph, side)
+        assert result.conductance <= conductance(graph, side) + 1e-9
+
+
+class TestRegularizationInvariants:
+    @given(connected_graphs(min_nodes=4, max_nodes=12),
+           st.floats(0.2, 8.0))
+    def test_heat_kernel_equivalence_random_graphs(self, graph, t):
+        from repro.regularization.equivalence import verify_heat_kernel
+
+        report = verify_heat_kernel(graph, t)
+        assert report.diffusion_vs_closed_form < 1e-8
+
+    @given(connected_graphs(min_nodes=4, max_nodes=12),
+           st.floats(0.05, 0.9))
+    def test_pagerank_equivalence_random_graphs(self, graph, gamma):
+        from repro.regularization.equivalence import verify_pagerank
+
+        report = verify_pagerank(graph, gamma)
+        assert report.diffusion_vs_closed_form < 1e-7
+
+    @given(connected_graphs(min_nodes=4, max_nodes=12),
+           st.floats(0.5, 0.95), st.integers(1, 8))
+    def test_lazy_walk_equivalence_random_graphs(self, graph, alpha, k):
+        from repro.regularization.equivalence import verify_lazy_walk
+
+        report = verify_lazy_walk(graph, alpha, k)
+        assert report.diffusion_vs_closed_form < 1e-7
+
+    @given(st.integers(0, 10_000), st.integers(2, 10))
+    def test_simplex_projection_is_projection(self, salt, d):
+        from repro.regularization.solver import simplex_projection
+
+        rng = np.random.default_rng(salt)
+        v = rng.standard_normal(d) * 5
+        p = simplex_projection(v)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+        # Idempotent.
+        assert np.allclose(simplex_projection(p), p, atol=1e-12)

@@ -1,0 +1,119 @@
+"""Tests for the internal validation helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import _validation as v
+from repro.exceptions import (
+    ConvergenceError,
+    DisconnectedGraphError,
+    EmptyGraphError,
+    FlowError,
+    GraphError,
+    InvalidParameterError,
+    PartitionError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, EmptyGraphError, DisconnectedGraphError,
+        ConvergenceError, InvalidParameterError, PartitionError, FlowError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_specializations(self):
+        assert issubclass(EmptyGraphError, GraphError)
+        assert issubclass(DisconnectedGraphError, GraphError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        error = ConvergenceError("slow", iterations=7, residual=0.5)
+        assert error.iterations == 7
+        assert error.residual == 0.5
+
+
+class TestCheckProbability:
+    def test_open_interval_default(self):
+        assert v.check_probability(0.5, "p") == 0.5
+        with pytest.raises(InvalidParameterError):
+            v.check_probability(0.0, "p")
+        with pytest.raises(InvalidParameterError):
+            v.check_probability(1.0, "p")
+
+    def test_inclusive_endpoints(self):
+        assert v.check_probability(0.0, "p", inclusive_low=True) == 0.0
+        assert v.check_probability(1.0, "p", inclusive_high=True) == 1.0
+
+    def test_rejects_nan_and_strings(self):
+        with pytest.raises(InvalidParameterError):
+            v.check_probability(float("nan"), "p")
+        with pytest.raises(InvalidParameterError):
+            v.check_probability("0.5", "p")
+
+
+class TestCheckPositiveAndReal:
+    def test_positive(self):
+        assert v.check_positive(2, "x") == 2.0
+        with pytest.raises(InvalidParameterError):
+            v.check_positive(0, "x")
+        assert v.check_positive(0, "x", allow_zero=True) == 0.0
+
+    def test_real_rejects_bool_and_inf(self):
+        with pytest.raises(InvalidParameterError):
+            v.check_real(True, "x")
+        with pytest.raises(InvalidParameterError):
+            v.check_real(float("inf"), "x")
+        assert v.check_real(np.float64(1.5), "x") == 1.5
+
+
+class TestCheckInt:
+    def test_bounds(self):
+        assert v.check_int(3, "k", minimum=1, maximum=5) == 3
+        with pytest.raises(InvalidParameterError):
+            v.check_int(0, "k", minimum=1)
+        with pytest.raises(InvalidParameterError):
+            v.check_int(9, "k", maximum=5)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(InvalidParameterError):
+            v.check_int(True, "k")
+        with pytest.raises(InvalidParameterError):
+            v.check_int(2.0, "k")
+
+    def test_numpy_integers_accepted(self):
+        assert v.check_int(np.int64(4), "k") == 4
+
+
+class TestCheckNodeAndVector:
+    def test_node_range(self):
+        assert v.check_node(2, 5) == 2
+        with pytest.raises(InvalidParameterError):
+            v.check_node(5, 5)
+        with pytest.raises(InvalidParameterError):
+            v.check_node(-1, 5)
+
+    def test_vector_shape_and_finiteness(self):
+        assert v.check_vector([1, 2, 3], 3).dtype == float
+        with pytest.raises(InvalidParameterError):
+            v.check_vector([1, 2], 3)
+        with pytest.raises(InvalidParameterError):
+            v.check_vector([1, float("nan"), 3], 3)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(v.as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = v.as_rng(7).random(3)
+        b = v.as_rng(7).random(3)
+        assert np.allclose(a, b)
+
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(0)
+        assert v.as_rng(rng) is rng
