@@ -39,6 +39,11 @@ True
 from repro import core, datasets, diffusion, graph, linalg, ncp, partition
 from repro import regularization
 from repro.core.framework import canonical_dynamics, verify_paper_theorem
+from repro.diffusion.engine import (
+    BatchPushResult,
+    batch_ppr_push,
+    ppr_push_frontier,
+)
 from repro.exceptions import (
     ConvergenceError,
     DisconnectedGraphError,
@@ -56,6 +61,7 @@ from repro.graph.graph import Graph
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchPushResult",
     "ConvergenceError",
     "DisconnectedGraphError",
     "EmptyGraphError",
@@ -67,6 +73,7 @@ __all__ = [
     "PartitionError",
     "ReproError",
     "__version__",
+    "batch_ppr_push",
     "canonical_dynamics",
     "core",
     "datasets",
@@ -76,6 +83,7 @@ __all__ = [
     "linalg",
     "ncp",
     "partition",
+    "ppr_push_frontier",
     "regularization",
     "verify_paper_theorem",
 ]

@@ -2,12 +2,18 @@
 approximations: heat kernel, PageRank, lazy random walk; ACL push,
 Spielman–Teng truncated walks, heat-kernel push."""
 
+from repro.diffusion.engine import (
+    BatchPushResult,
+    batch_ppr_push,
+    ppr_push_frontier,
+)
 from repro.diffusion.heat_kernel import (
     heat_kernel_matrix,
     heat_kernel_profile,
     heat_kernel_vector,
 )
 from repro.diffusion.hk_push import (
+    SERIES_T_MAX,
     HeatKernelPushResult,
     heat_kernel_push,
     poisson_tail,
@@ -48,10 +54,13 @@ from repro.diffusion.truncated_walk import (
 )
 
 __all__ = [
+    "BatchPushResult",
     "HeatKernelPushResult",
     "PushResult",
+    "SERIES_T_MAX",
     "TruncatedWalkResult",
     "approximate_ppr_push",
+    "batch_ppr_push",
     "degree_seed",
     "degree_weighted_indicator_seed",
     "global_pagerank",
@@ -71,6 +80,7 @@ __all__ = [
     "pagerank_power",
     "pagerank_resolvent_dense",
     "poisson_tail",
+    "ppr_push_frontier",
     "push_invariant_residual",
     "random_sign_seed",
     "random_unit_seed",

@@ -31,6 +31,7 @@ from repro._validation import (
     check_probability,
     check_vector,
 )
+from repro.diffusion.engine import gather_csr_arcs
 from repro.exceptions import InvalidParameterError
 
 
@@ -78,10 +79,29 @@ def poisson_tail(t, num_terms):
     return max(0.0, 1.0 - cumulative)
 
 
+# Beyond this diffusion time ``math.exp(-t)`` is subnormal (or zero), so
+# the incremental Taylor recurrence ``term *= t / k`` loses all precision
+# and the partial sums can never reach ``1 - tol``. Reject such ``t``
+# upfront instead of spinning through the iteration cap.
+SERIES_T_MAX = 700.0
+
+
+def _check_series_time(t):
+    """Reject diffusion times past the float64 series-truncation boundary."""
+    if t > SERIES_T_MAX:
+        raise InvalidParameterError(
+            f"t={t!r} exceeds the series-truncation boundary "
+            f"t <= {SERIES_T_MAX}: exp(-t) underflows float64, so the "
+            "truncated-Taylor heat kernel cannot be evaluated"
+        )
+    return t
+
+
 def terms_for_tail(t, tol):
     """Smallest ``N`` with Poisson tail beyond ``N`` at most ``tol``."""
     t = check_positive(t, "t", allow_zero=True)
     tol = check_positive(tol, "tol")
+    _check_series_time(t)
     term = math.exp(-t)
     cumulative = term
     k = 0
@@ -118,6 +138,7 @@ def heat_kernel_push(graph, seed_vector, t, *, epsilon=1e-4, num_terms=None,
     HeatKernelPushResult
     """
     t = check_positive(t, "t", allow_zero=True)
+    _check_series_time(t)
     epsilon = check_probability(epsilon, "epsilon")
     seed = check_vector(seed_vector, graph.num_nodes, "seed_vector")
     if np.any(seed < 0):
@@ -145,14 +166,22 @@ def heat_kernel_push(graph, seed_vector, t, *, epsilon=1e-4, num_terms=None,
     weight = math.exp(-t)
     accumulated = weight * stage
     for k in range(1, num_terms + 1):
-        new_stage = np.zeros_like(stage)
+        # One substochastic walk step M stage, restricted to the current
+        # support: gather the support's CSR slices and scatter through a
+        # bincount instead of a per-node Python loop.
         support = np.flatnonzero(stage)
-        for u in support:
-            flow = stage[u] / degrees[u]
-            start, stop = indptr[u], indptr[u + 1]
-            work += 1 + (stop - start)
-            for idx in range(start, stop):
-                new_stage[indices[idx]] += flow * weights[idx]
+        if support.size:
+            arc_positions, counts = gather_csr_arcs(indptr, support)
+            work += int((1 + counts).sum())
+            flow = stage[support] / degrees[support]
+            new_stage = np.bincount(
+                indices[arc_positions],
+                weights=weights[arc_positions]
+                * np.repeat(flow, counts),
+                minlength=graph.num_nodes,
+            )
+        else:
+            new_stage = np.zeros_like(stage)
         stage = rounded(new_stage)
         touched_mask |= stage > 0
         weight *= t / k

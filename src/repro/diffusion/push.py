@@ -107,7 +107,15 @@ def approximate_ppr_push(graph, seed_vector, *, alpha=0.15, epsilon=1e-4,
         raise InvalidParameterError("push requires positive degrees")
     seed_mass = float(seed.sum())
     if max_pushes is None:
-        max_pushes = int(np.ceil(seed_mass / (epsilon * alpha))) + 8
+        # The provable bound controls pushed *volume*: eps a Sum d_u <=
+        # ||s||_1. That caps the push count at ||s||_1 / (eps a d_min);
+        # the floor at 1 keeps the classic count bound on graphs with
+        # unit-or-larger degrees while staying valid for sub-unit
+        # weighted degrees.
+        degree_floor = min(1.0, float(degrees.min()))
+        max_pushes = int(
+            np.ceil(seed_mass / (epsilon * alpha * degree_floor))
+        ) + 8
 
     n = graph.num_nodes
     p = np.zeros(n)

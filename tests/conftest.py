@@ -22,6 +22,13 @@ from repro.graph.random_generators import (
 )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance-regression smoke benchmarks (write BENCH_*.json)",
+    )
+
+
 @pytest.fixture
 def triangle():
     """The 3-cycle: smallest nontrivial connected graph."""

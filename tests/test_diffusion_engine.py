@@ -1,0 +1,438 @@
+"""Tests for the frontier-batched diffusion engine and its consumers.
+
+Parity is stated the way the paper states it (Section 3.3): any push
+schedule — scalar deque order or synchronized frontier sweeps — satisfies
+the same push invariant and exits with ``r_u < ε d_u``, hence both outputs
+obey ``|p_u − pr_α(s)_u| ≤ ε d_u`` and differ from *each other* by at most
+``2 ε d_u`` entrywise. Sweep cuts computed by the vectorized prefix scan
+must match the scalar reference exactly, including tie-breaking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.diffusion.engine import (
+    BatchPushResult,
+    batch_ppr_push,
+    ppr_push_frontier,
+)
+from repro.diffusion.hk_push import (
+    SERIES_T_MAX,
+    heat_kernel_push,
+    terms_for_tail,
+)
+from repro.diffusion.pagerank import lazy_pagerank_exact
+from repro.diffusion.push import approximate_ppr_push
+from repro.diffusion.seeds import (
+    degree_weighted_indicator_seed,
+    indicator_seed,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.build import from_edges
+from repro.partition.sweep import sweep_cut
+
+
+def random_graph(rng, n, extra_edges, *, weighted=False):
+    """Random connected graph: spanning tree + extra edges."""
+    edges = {}
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        edges[(u, v)] = float(rng.uniform(0.25, 4.0)) if weighted else 1.0
+    for _ in range(extra_edges):
+        u, v = sorted(int(x) for x in rng.integers(0, n, size=2))
+        if u != v and (u, v) not in edges:
+            edges[(u, v)] = float(rng.uniform(0.25, 4.0)) if weighted else 1.0
+    pairs = sorted(edges)
+    return from_edges(n, pairs, [edges[p] for p in pairs])
+
+
+class TestFrontierScalarParity:
+    @pytest.mark.parametrize("alpha,epsilon", [
+        (0.05, 1e-3), (0.05, 1e-4), (0.2, 1e-3), (0.2, 1e-5),
+    ])
+    def test_both_meet_entrywise_guarantee(self, whiskered, alpha, epsilon):
+        s = degree_weighted_indicator_seed(whiskered, [3])
+        exact = lazy_pagerank_exact(whiskered, alpha, s)
+        bound = epsilon * whiskered.degrees
+        scalar = approximate_ppr_push(
+            whiskered, s, alpha=alpha, epsilon=epsilon
+        )
+        frontier = ppr_push_frontier(
+            whiskered, s, alpha=alpha, epsilon=epsilon
+        )
+        for result in (scalar, frontier):
+            assert np.all(np.abs(result.approximation - exact) <= bound + 1e-12)
+            assert np.all(result.residual <= bound + 1e-15)
+            assert np.all(result.residual >= 0)
+        # Schedules differ, but only inside the shared eps*d envelope.
+        gap = np.abs(frontier.approximation - scalar.approximation)
+        assert np.all(gap <= 2 * bound + 1e-12)
+
+    def test_parity_on_random_graphs(self):
+        rng = np.random.default_rng(42)
+        for trial in range(8):
+            graph = random_graph(
+                rng, int(rng.integers(8, 40)), int(rng.integers(0, 30)),
+                weighted=trial % 2 == 0,
+            )
+            s = indicator_seed(graph, [int(rng.integers(graph.num_nodes))])
+            alpha = float(rng.uniform(0.05, 0.5))
+            epsilon = float(rng.choice([1e-2, 1e-3, 1e-4]))
+            scalar = approximate_ppr_push(
+                graph, s, alpha=alpha, epsilon=epsilon
+            )
+            frontier = ppr_push_frontier(
+                graph, s, alpha=alpha, epsilon=epsilon
+            )
+            exact = lazy_pagerank_exact(graph, alpha, s)
+            bound = epsilon * graph.degrees
+            assert np.all(
+                np.abs(frontier.approximation - exact) <= bound + 1e-12
+            )
+            assert np.all(
+                np.abs(frontier.approximation - scalar.approximation)
+                <= 2 * bound + 1e-12
+            )
+
+    def test_identical_sweep_cuts_from_both_schedules(self, whiskered):
+        # The downstream rounding step: both diffusions must induce the
+        # same community when swept (the supports and orderings agree up
+        # to eps-sized perturbations on a graph with a clear cluster).
+        s = degree_weighted_indicator_seed(whiskered, [42])
+        scalar = approximate_ppr_push(whiskered, s, alpha=0.1, epsilon=1e-4)
+        frontier = ppr_push_frontier(whiskered, s, alpha=0.1, epsilon=1e-4)
+        cut_scalar = sweep_cut(
+            whiskered, scalar.approximation,
+            restrict_to=np.flatnonzero(scalar.approximation > 0),
+        )
+        cut_frontier = sweep_cut(
+            whiskered, frontier.approximation,
+            restrict_to=np.flatnonzero(frontier.approximation > 0),
+        )
+        assert np.array_equal(cut_scalar.nodes, cut_frontier.nodes)
+        assert cut_scalar.conductance == pytest.approx(
+            cut_frontier.conductance
+        )
+
+    def test_work_accounting_matches_bound(self, whiskered):
+        s = degree_weighted_indicator_seed(whiskered, [0])
+        alpha, epsilon = 0.1, 1e-4
+        result = batch_ppr_push(
+            whiskered, [s], alphas=(alpha,), epsilons=(epsilon,)
+        )
+        # eps * alpha * (sum of pushed degrees) <= ||s||_1: the O(1/(eps
+        # alpha)) locality bound of [1], checked as an exact inequality.
+        assert epsilon * alpha * result.pushed_volume[0] <= s.sum() + 1e-12
+        assert result.num_pushes[0] > 0
+        assert result.work[0] >= result.num_pushes[0]
+
+
+class TestBatchSemantics:
+    def test_grid_columns_match_single_runs(self, whiskered):
+        seeds = [3, 17]
+        alphas = (0.05, 0.2)
+        epsilons = (1e-2, 1e-4)
+        batch = batch_ppr_push(
+            whiskered, seeds, alphas=alphas, epsilons=epsilons
+        )
+        assert isinstance(batch, BatchPushResult)
+        assert batch.num_columns == 8
+        b = 0
+        for si, seed_node in enumerate(seeds):
+            vector = indicator_seed(whiskered, [seed_node])
+            for alpha in alphas:
+                for epsilon in epsilons:
+                    assert batch.seed_indices[b] == si
+                    assert batch.alphas[b] == alpha
+                    assert batch.epsilons[b] == epsilon
+                    single = ppr_push_frontier(
+                        whiskered, vector, alpha=alpha, epsilon=epsilon
+                    )
+                    column = batch.column(b)
+                    assert np.allclose(
+                        column.approximation, single.approximation,
+                        atol=1e-14,
+                    )
+                    assert np.allclose(
+                        column.residual, single.residual, atol=1e-14
+                    )
+                    assert column.num_pushes == single.num_pushes
+                    assert column.work == single.work
+                    assert np.array_equal(column.touched, single.touched)
+                    b += 1
+
+    def test_vector_and_node_id_seeds_agree(self, whiskered):
+        by_id = batch_ppr_push(whiskered, [5])
+        by_vector = batch_ppr_push(whiskered, [indicator_seed(whiskered, [5])])
+        assert np.allclose(
+            by_id.approximation, by_vector.approximation, atol=0
+        )
+
+    def test_converged_columns_stop_accumulating_work(self, whiskered):
+        # A loose-epsilon column must do no more work batched with a tight
+        # one than it does alone.
+        alone = batch_ppr_push(whiskered, [3], epsilons=(1e-2,))
+        together = batch_ppr_push(whiskered, [3], epsilons=(1e-2, 1e-5))
+        assert together.num_pushes[0] == alone.num_pushes[0]
+        assert together.work[0] == alone.work[0]
+
+    def test_column_out_of_range_rejected(self, whiskered):
+        batch = batch_ppr_push(whiskered, [0])
+        with pytest.raises(InvalidParameterError):
+            batch.column(1)
+        with pytest.raises(InvalidParameterError):
+            batch.column(-1)
+
+    def test_invalid_inputs_rejected(self, whiskered):
+        with pytest.raises(InvalidParameterError):
+            batch_ppr_push(whiskered, [])
+        with pytest.raises(InvalidParameterError):
+            batch_ppr_push(whiskered, [np.full(whiskered.num_nodes, -1.0)])
+        with pytest.raises(InvalidParameterError):
+            batch_ppr_push(whiskered, [0], alphas=(0.0,))
+        with pytest.raises(InvalidParameterError):
+            batch_ppr_push(whiskered, [0], epsilons=(2.0,))
+
+    def test_push_cap_enforced(self, whiskered):
+        with pytest.raises(InvalidParameterError):
+            batch_ppr_push(
+                whiskered, [0], epsilons=(1e-6,), max_pushes=3
+            )
+
+    def test_sub_unit_degrees_converge(self):
+        # Regression: the default push cap used the count bound
+        # ||s||_1/(eps*alpha), which is only valid for degrees >= 1; a
+        # star with weight-0.01 edges used to hit the cap and raise on
+        # both the scalar and the batched path.
+        n = 200
+        star = from_edges(
+            n, [(0, v) for v in range(1, n)], [0.01] * (n - 1)
+        )
+        s = indicator_seed(star, [0])
+        scalar = approximate_ppr_push(star, s, alpha=0.5, epsilon=0.1)
+        frontier = ppr_push_frontier(star, s, alpha=0.5, epsilon=0.1)
+        bound = 0.1 * star.degrees
+        for result in (scalar, frontier):
+            assert np.all(result.residual <= bound + 1e-15)
+            assert result.num_pushes > 0
+
+    def test_seed_below_threshold_converges_instantly(self, whiskered):
+        tiny = np.zeros(whiskered.num_nodes)
+        tiny[0] = 1e-9
+        result = batch_ppr_push(whiskered, [tiny], epsilons=(1e-2,))
+        assert result.num_sweeps == 0
+        assert np.all(result.approximation == 0)
+        assert np.allclose(result.residual[:, 0], tiny)
+
+
+class TestSweepScanParity:
+    def test_vectorized_matches_scalar_unweighted_exactly(self):
+        # Unweighted graphs keep every cut/volume integer-valued, so the
+        # two scans must agree bitwise — including tie-breaking.
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            graph = random_graph(rng, int(rng.integers(6, 30)),
+                                 int(rng.integers(0, 25)))
+            scores = rng.integers(0, 4, size=graph.num_nodes).astype(float)
+            scalar = sweep_cut(
+                graph, scores, degree_normalize=False,
+                implementation="scalar",
+            )
+            fast = sweep_cut(
+                graph, scores, degree_normalize=False,
+                implementation="vectorized",
+            )
+            assert np.array_equal(scalar.nodes, fast.nodes)
+            assert scalar.conductance == fast.conductance
+            assert scalar.volume == fast.volume
+            assert np.array_equal(
+                np.isfinite(scalar.profile), np.isfinite(fast.profile)
+            )
+
+    def test_vectorized_matches_scalar_with_options(self, whiskered, rng):
+        for trial in range(10):
+            scores = rng.random(whiskered.num_nodes)
+            kwargs = {}
+            if trial % 3 == 1:
+                kwargs["max_volume"] = float(
+                    whiskered.total_volume * rng.uniform(0.2, 0.8)
+                )
+            if trial % 3 == 2:
+                kwargs["min_size"] = 3
+                kwargs["restrict_to"] = rng.choice(
+                    whiskered.num_nodes, size=20, replace=False
+                )
+            scalar = sweep_cut(
+                whiskered, scores, implementation="scalar", **kwargs
+            )
+            fast = sweep_cut(
+                whiskered, scores, implementation="vectorized", **kwargs
+            )
+            assert np.array_equal(scalar.nodes, fast.nodes)
+            assert scalar.conductance == pytest.approx(
+                fast.conductance, abs=1e-12
+            )
+            both = np.isfinite(scalar.profile) & np.isfinite(fast.profile)
+            assert np.array_equal(
+                np.isfinite(scalar.profile), np.isfinite(fast.profile)
+            )
+            assert np.allclose(
+                scalar.profile[both], fast.profile[both], atol=1e-12
+            )
+
+    def test_unknown_implementation_rejected(self, whiskered, rng):
+        with pytest.raises(InvalidParameterError):
+            sweep_cut(
+                whiskered, rng.random(whiskered.num_nodes),
+                implementation="quantum",
+            )
+
+
+class TestNCPEngineParity:
+    def test_batched_profile_matches_scalar_path(self, whiskered):
+        from repro.ncp.profile import (
+            best_per_size_bucket,
+            spectral_cluster_ensemble_ncp,
+        )
+
+        kwargs = dict(
+            num_seeds=8, alphas=(0.05, 0.15), epsilons=(1e-3, 1e-4), seed=0
+        )
+        scalar = spectral_cluster_ensemble_ncp(
+            whiskered, engine="scalar", **kwargs
+        )
+        batched = spectral_cluster_ensemble_ncp(
+            whiskered, engine="batched", **kwargs
+        )
+        assert len(batched) > 0
+        profile_scalar = best_per_size_bucket(scalar, num_buckets=6)
+        profile_batched = best_per_size_bucket(batched, num_buckets=6)
+        assert np.allclose(
+            profile_scalar.bucket_edges, profile_batched.bucket_edges
+        )
+        finite_scalar = np.isfinite(profile_scalar.best_conductance)
+        finite_batched = np.isfinite(profile_batched.best_conductance)
+        assert np.array_equal(finite_scalar, finite_batched)
+        # The diffusions agree within eps*d, so per-bucket best
+        # conductances can only drift by an eps-sized sweep perturbation.
+        assert np.allclose(
+            profile_scalar.best_conductance[finite_scalar],
+            profile_batched.best_conductance[finite_batched],
+            atol=0.05,
+        )
+
+    def test_unknown_engine_rejected(self, whiskered):
+        from repro.ncp.profile import spectral_cluster_ensemble_ncp
+
+        with pytest.raises(InvalidParameterError):
+            spectral_cluster_ensemble_ncp(whiskered, engine="gpu")
+
+
+class TestHeatKernelPushHardening:
+    def test_terms_for_tail_raises_past_boundary(self):
+        # Used to spin through the 100k iteration cap when exp(-t)
+        # underflowed; must now fail fast and consistently.
+        start = time.perf_counter()
+        with pytest.raises(InvalidParameterError):
+            terms_for_tail(SERIES_T_MAX + 1.0, 1e-6)
+        with pytest.raises(InvalidParameterError):
+            terms_for_tail(1e6, 1e-6)
+        assert time.perf_counter() - start < 0.5
+
+    def test_heat_kernel_push_raises_past_boundary(self, ring):
+        s = indicator_seed(ring, [0])
+        with pytest.raises(InvalidParameterError):
+            heat_kernel_push(ring, s, SERIES_T_MAX + 1.0)
+        # Explicit num_terms does not bypass the guard: the Taylor
+        # weights all underflow, so the output would be silently zero.
+        with pytest.raises(InvalidParameterError):
+            heat_kernel_push(ring, s, 1e4, num_terms=5)
+
+    def test_boundary_time_still_works(self):
+        assert terms_for_tail(SERIES_T_MAX, 0.5) >= 1
+
+    def test_vectorized_stage_matches_exact_heat_kernel(self, ring):
+        from repro.diffusion.heat_kernel import heat_kernel_vector
+
+        s = indicator_seed(ring, [0])
+        t = 2.0
+        result = heat_kernel_push(ring, s, t, epsilon=1e-7)
+        exact = heat_kernel_vector(ring, s, t, kind="random_walk")
+        total_error = result.dropped_mass + result.tail_bound
+        assert np.abs(result.approximation - exact).sum() <= (
+            total_error + 1e-9
+        )
+
+
+@pytest.mark.perf
+class TestEnginePerformanceRegression:
+    def test_batched_engine_not_slower_than_scalar(self):
+        """Smoke benchmark: batched vs scalar on the reference graph.
+
+        Writes ``BENCH_engine.json`` (wall time + pushes/sec) and fails
+        if the batched engine is slower than the scalar loop on the
+        synthetic-DBLP reference workload.
+        """
+        from repro.datasets import load_graph
+
+        graph = load_graph("atp")
+        rng = np.random.default_rng(0)
+        nodes = rng.choice(graph.num_nodes, size=10, replace=False)
+        seeds = [
+            degree_weighted_indicator_seed(graph, [int(u)]) for u in nodes
+        ]
+        alphas = (0.05, 0.15)
+        epsilons = (1e-3, 1e-4)
+
+        def time_scalar():
+            start = time.perf_counter()
+            pushes = 0
+            for vector in seeds:
+                for alpha in alphas:
+                    for epsilon in epsilons:
+                        result = approximate_ppr_push(
+                            graph, vector, alpha=alpha, epsilon=epsilon
+                        )
+                        pushes += result.num_pushes
+            return time.perf_counter() - start, pushes
+
+        def time_batched():
+            start = time.perf_counter()
+            result = batch_ppr_push(
+                graph, seeds, alphas=alphas, epsilons=epsilons
+            )
+            return time.perf_counter() - start, result
+
+        # Best of two rounds each, so a one-off scheduler or GC pause on
+        # a noisy CI runner cannot flip the comparison.
+        (scalar_seconds, scalar_pushes) = min(
+            (time_scalar() for _ in range(2)), key=lambda pair: pair[0]
+        )
+        (batched_seconds, batch) = min(
+            (time_batched() for _ in range(2)), key=lambda pair: pair[0]
+        )
+        batched_pushes = int(batch.num_pushes.sum())
+
+        report = {
+            "graph": "atp (synthetic AtP-DBLP, small)",
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "num_columns": batch.num_columns,
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": batched_seconds,
+            "scalar_pushes_per_sec": scalar_pushes / scalar_seconds,
+            "batched_pushes_per_sec": batched_pushes / batched_seconds,
+            "speedup": scalar_seconds / batched_seconds,
+            "num_sweeps": batch.num_sweeps,
+        }
+        out_path = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        assert batched_seconds <= scalar_seconds, (
+            f"batched engine regressed below scalar: {report}"
+        )

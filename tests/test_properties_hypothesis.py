@@ -211,6 +211,63 @@ class TestDiffusionInvariants:
         assert np.all(result.residual <= epsilon * graph.degrees + 1e-12)
 
 
+class TestEngineInvariants:
+    """The batched frontier engine obeys the same Section 3.3 contracts
+    as the scalar push: exact push invariant at exit, the eps*d entrywise
+    guarantee, and the O(1/(eps alpha)) work-accounting bound."""
+
+    @given(connected_graphs(), st.floats(0.05, 0.6),
+           st.sampled_from([1e-2, 1e-3, 1e-4]))
+    def test_engine_push_invariant_at_exit(self, graph, alpha, epsilon):
+        # p + pr_alpha(r) = pr_alpha(s): simultaneous pushes are linear,
+        # so the invariant must hold exactly (to solver tolerance).
+        from repro.diffusion.engine import ppr_push_frontier
+        from repro.diffusion.pagerank import lazy_pagerank_exact
+        from repro.diffusion.push import push_invariant_residual
+        from repro.diffusion.seeds import indicator_seed
+
+        s = indicator_seed(graph, [0])
+        result = ppr_push_frontier(graph, s, alpha=alpha, epsilon=epsilon)
+        assert push_invariant_residual(graph, result, s) < 1e-8
+        exact = lazy_pagerank_exact(graph, alpha, s)
+        gap = np.abs(result.approximation - exact)
+        assert np.all(gap <= epsilon * graph.degrees + 1e-9)
+        assert np.all(result.residual <= epsilon * graph.degrees + 1e-12)
+        assert np.all(result.residual >= 0)
+
+    @given(connected_graphs(), st.floats(0.05, 0.6),
+           st.sampled_from([1e-2, 1e-3]))
+    def test_engine_work_bound(self, graph, alpha, epsilon):
+        # Every push drains alpha * r_u >= alpha * eps * d_u of residual
+        # mass, so eps * alpha * sum_pushes d_u <= ||s||_1 — the paper's
+        # output-local work bound, independent of n.
+        from repro.diffusion.engine import batch_ppr_push
+        from repro.diffusion.seeds import indicator_seed
+
+        s = indicator_seed(graph, [0])
+        result = batch_ppr_push(
+            graph, [s], alphas=(alpha,), epsilons=(epsilon,)
+        )
+        assert epsilon * alpha * result.pushed_volume[0] <= s.sum() + 1e-9
+        # Total mass is conserved between approximation and residual.
+        total = result.approximation[:, 0].sum() + \
+            result.residual[:, 0].sum()
+        assert total == pytest.approx(s.sum(), abs=1e-9)
+
+    @given(connected_graphs(), st.floats(0.05, 0.6),
+           st.sampled_from([1e-2, 1e-3]))
+    def test_engine_scalar_parity(self, graph, alpha, epsilon):
+        from repro.diffusion.engine import ppr_push_frontier
+        from repro.diffusion.push import approximate_ppr_push
+        from repro.diffusion.seeds import indicator_seed
+
+        s = indicator_seed(graph, [0])
+        scalar = approximate_ppr_push(graph, s, alpha=alpha, epsilon=epsilon)
+        frontier = ppr_push_frontier(graph, s, alpha=alpha, epsilon=epsilon)
+        gap = np.abs(scalar.approximation - frontier.approximation)
+        assert np.all(gap <= 2 * epsilon * graph.degrees + 1e-9)
+
+
 class TestFlowInvariants:
     @given(st.integers(0, 10_000))
     def test_maxflow_mincut_duality_random(self, salt):
