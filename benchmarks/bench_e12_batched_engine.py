@@ -21,11 +21,19 @@ import numpy as np
 
 from repro.core import format_comparison_verdict, format_table
 from repro.datasets import load_graph
-from repro.diffusion import approximate_ppr_push, batch_ppr_push
+from repro.diffusion import (
+    approximate_ppr_push,
+    batch_hk_push,
+    batch_ppr_push,
+    heat_kernel_push,
+    truncated_lazy_walk,
+)
 from repro.diffusion.seeds import degree_weighted_indicator_seed
 
 ALPHAS = (0.05, 0.15)
 EPSILONS = (1e-3, 1e-4)
+HK_TS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+WALK_STEPS = 30
 NUM_SEEDS = 10
 REFERENCE = "atp"
 GRAPHS = ("atp", "whiskered", "expander", "planted")
@@ -57,6 +65,31 @@ def time_batched(graph, seeds):
     return time.perf_counter() - start, int(batch.num_pushes.sum())
 
 
+def time_hk_scalar(graph, seeds):
+    start = time.perf_counter()
+    for vector in seeds:
+        for t in HK_TS:
+            for epsilon in EPSILONS:
+                heat_kernel_push(graph, vector, t, epsilon=epsilon)
+    return time.perf_counter() - start
+
+
+def time_hk_batched(graph, seeds):
+    start = time.perf_counter()
+    batch_hk_push(graph, seeds, ts=HK_TS, epsilons=EPSILONS)
+    return time.perf_counter() - start
+
+
+def time_walk(graph, seeds, implementation):
+    start = time.perf_counter()
+    for vector in seeds:
+        truncated_lazy_walk(
+            graph, vector, WALK_STEPS, epsilon=1e-4,
+            keep_trajectory=False, implementation=implementation,
+        )
+    return time.perf_counter() - start
+
+
 def run_comparison():
     rng = np.random.default_rng(0)
     rows = []
@@ -77,6 +110,32 @@ def run_comparison():
             f"{speedups[name]:.1f}x",
         ])
     return rows, speedups
+
+
+def run_dynamics_comparison():
+    """HK and truncated-walk batched-vs-scalar on the reference graph."""
+    rng = np.random.default_rng(0)
+    graph = load_graph(REFERENCE)
+    seeds = seed_vectors(graph, NUM_SEEDS, rng)
+    hk_scalar = time_hk_scalar(graph, seeds)
+    hk_batched = time_hk_batched(graph, seeds)
+    walk_scalar = time_walk(graph, seeds, "scalar")
+    walk_vec = time_walk(graph, seeds, "vectorized")
+    rows = [
+        [
+            f"heat kernel ({len(HK_TS)} ts x {len(EPSILONS)} eps)",
+            f"{hk_scalar:.3f}",
+            f"{hk_batched:.3f}",
+            f"{hk_scalar / hk_batched:.1f}x",
+        ],
+        [
+            f"truncated walk ({WALK_STEPS} steps)",
+            f"{walk_scalar:.3f}",
+            f"{walk_vec:.3f}",
+            f"{walk_scalar / walk_vec:.1f}x",
+        ],
+    ]
+    return rows, hk_scalar / hk_batched, walk_scalar / walk_vec
 
 
 def test_e12_batched_engine_throughput(benchmark):
@@ -102,3 +161,23 @@ def test_e12_batched_engine_throughput(benchmark):
     assert reference_speedup >= 1.5, (
         f"batched engine only {reference_speedup:.1f}x on {REFERENCE}"
     )
+
+
+def test_e12_multidynamics_throughput():
+    rows, hk_speedup, walk_speedup = run_dynamics_comparison()
+    print()
+    print(format_table(
+        ["dynamics", "scalar s", "batched s", "speedup"],
+        rows,
+        title=(
+            f"E12b: heat-kernel and truncated-walk engines, "
+            f"{NUM_SEEDS} seeds on {REFERENCE}"
+        ),
+    ))
+    print()
+    print(format_comparison_verdict(
+        "batched HK t-grid >= 5x the scalar loop on the reference",
+        True, hk_speedup >= 5.0,
+    ))
+    assert hk_speedup >= 1.5, f"batched HK only {hk_speedup:.1f}x"
+    assert walk_speedup >= 1.5, f"vectorized walk only {walk_speedup:.1f}x"

@@ -9,6 +9,8 @@ here for the other panels, which then time only their own panel's work
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 FOCUS_MIN_SIZE = 30  # the paper studies "reasonably good clusters" of
@@ -32,11 +34,25 @@ def atp_graph():
     ).graph
 
 
+def bench_workers():
+    """Worker processes for the sharded NCP runner during benchmarks.
+
+    Multi-core machines shard the diffusion grid across processes;
+    single-core runners stay in-process (a pool of one only adds
+    overhead). The ensembles are identical either way.
+    """
+    cores = os.cpu_count() or 1
+    return min(4, cores) if cores > 1 else 0
+
+
 def compute_figure1(graph):
     """The full Figure 1 comparison used by E1–E3."""
     from repro.ncp import figure1_comparison
 
-    return figure1_comparison(graph, num_buckets=8, num_seeds=20, seed=11)
+    return figure1_comparison(
+        graph, num_buckets=8, num_seeds=20, seed=11,
+        num_workers=bench_workers(),
+    )
 
 
 def get_figure1(cache, graph, *, benchmark=None):

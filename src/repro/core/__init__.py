@@ -5,6 +5,7 @@ from repro.core.experiments import (
     ExperimentRecord,
     Stopwatch,
     records_table,
+    run_multidynamics_ncp,
     write_record,
 )
 from repro.core.framework import (
@@ -33,6 +34,7 @@ __all__ = [
     "geometric_midpoints",
     "get_dynamics",
     "records_table",
+    "run_multidynamics_ncp",
     "verify_paper_theorem",
     "write_record",
 ]

@@ -3,8 +3,11 @@ approximations: heat kernel, PageRank, lazy random walk; ACL push,
 Spielman–Teng truncated walks, heat-kernel push."""
 
 from repro.diffusion.engine import (
+    BatchHeatKernelResult,
     BatchPushResult,
+    batch_hk_push,
     batch_ppr_push,
+    gather_csr_arcs,
     ppr_push_frontier,
 )
 from repro.diffusion.heat_kernel import (
@@ -54,13 +57,16 @@ from repro.diffusion.truncated_walk import (
 )
 
 __all__ = [
+    "BatchHeatKernelResult",
     "BatchPushResult",
     "HeatKernelPushResult",
     "PushResult",
     "SERIES_T_MAX",
     "TruncatedWalkResult",
     "approximate_ppr_push",
+    "batch_hk_push",
     "batch_ppr_push",
+    "gather_csr_arcs",
     "degree_seed",
     "degree_weighted_indicator_seed",
     "global_pagerank",

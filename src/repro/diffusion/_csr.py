@@ -1,0 +1,31 @@
+"""Shared CSR gather helpers for the vectorized diffusion kernels.
+
+Kept in a leaf module so the batched engine, the scalar heat-kernel push,
+the truncated walk, and the sweep scan can all import the same gather
+without creating import cycles between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gather_csr_arcs"]
+
+
+def gather_csr_arcs(indptr, rows):
+    """Flat CSR positions of every arc leaving ``rows``.
+
+    Returns ``(arc_positions, counts)`` where ``arc_positions`` indexes
+    ``indices``/``weights`` and ``counts[i]`` is the out-degree count of
+    ``rows[i]``; arcs appear grouped by row, in CSR order. Shared by the
+    push engine, the heat-kernel stages, the truncated walk, and the
+    vectorized sweep scan.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    arc_positions = np.repeat(starts - offsets, counts) + np.arange(total)
+    return arc_positions, counts

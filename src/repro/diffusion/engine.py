@@ -48,13 +48,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._validation import check_probability, check_vector
+from repro._validation import check_int, check_positive, check_probability, check_vector
+from repro.diffusion._csr import gather_csr_arcs
 from repro.diffusion.push import PushResult
 from repro.diffusion.seeds import indicator_seed
 from repro.exceptions import InvalidParameterError
 
 __all__ = [
+    "BatchHeatKernelResult",
     "BatchPushResult",
+    "batch_hk_push",
     "batch_ppr_push",
     "gather_csr_arcs",
     "ppr_push_frontier",
@@ -127,25 +130,6 @@ class BatchPushResult:
             epsilon=float(self.epsilons[b]),
             alpha=float(self.alphas[b]),
         )
-
-
-def gather_csr_arcs(indptr, rows):
-    """Flat CSR positions of every arc leaving ``rows``.
-
-    Returns ``(arc_positions, counts)`` where ``arc_positions`` indexes
-    ``indices``/``weights`` and ``counts[i]`` is the out-degree count of
-    ``rows[i]``; arcs appear grouped by row, in CSR order. Shared by the
-    push engine, the heat-kernel push stage, and the vectorized sweep
-    scan.
-    """
-    starts = indptr[rows]
-    counts = indptr[rows + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64), counts
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    arc_positions = np.repeat(starts - offsets, counts) + np.arange(total)
-    return arc_positions, counts
 
 
 def _as_seed_matrix(graph, seeds):
@@ -319,6 +303,304 @@ def batch_ppr_push(graph, seeds, *, alphas=(0.15,), epsilons=(1e-4,),
         work=work,
         pushed_volume=pushed_volume,
         num_sweeps=num_sweeps,
+    )
+
+
+@dataclass
+class BatchHeatKernelResult:
+    """Output of the batched truncated-Taylor heat-kernel engine.
+
+    Columns enumerate the grid ``seeds × ts × epsilons`` in C order
+    (seed slowest, epsilon fastest), matching
+    ``for seed: for t: for epsilon`` iteration.
+
+    Attributes
+    ----------
+    approximation:
+        ``(n, B)`` matrix; column ``b`` approximates
+        ``exp(-t_b (I − M)) s_b`` with the same per-stage ε·d rounding as
+        the scalar :func:`repro.diffusion.hk_push.heat_kernel_push`.
+    seed_indices:
+        ``(B,)`` index into the ``seeds`` argument for each column.
+    ts:
+        ``(B,)`` diffusion time per column.
+    epsilons:
+        ``(B,)`` rounding threshold per column.
+    num_terms:
+        ``(B,)`` Taylor truncation order per column.
+    dropped_mass:
+        ``(B,)`` total ℓ1 mass removed by rounding per column (upper bound
+        on the rounding error of that column).
+    tail_bound:
+        ``(B,)`` Poisson tail mass beyond ``num_terms`` per column.
+    work:
+        ``(B,)`` edge traversals charged per column — identical to the
+        scalar accounting ``Σ_stages Σ_{u ∈ support} (1 + deg(u))``.
+    touched_mask:
+        ``(n, B)`` bool matrix of nodes ever assigned nonzero charge.
+    num_stages:
+        Synchronized Taylor stages executed (the max of ``num_terms``).
+    """
+
+    approximation: np.ndarray
+    seed_indices: np.ndarray
+    ts: np.ndarray
+    epsilons: np.ndarray
+    num_terms: np.ndarray
+    dropped_mass: np.ndarray
+    tail_bound: np.ndarray
+    work: np.ndarray
+    touched_mask: np.ndarray
+    num_stages: int
+
+    @property
+    def num_columns(self):
+        """Number of batched diffusions ``B``."""
+        return int(self.ts.size)
+
+    def column(self, b):
+        """Extract column ``b`` as a scalar-compatible result object."""
+        from repro.diffusion.hk_push import HeatKernelPushResult
+
+        b = int(b)
+        if not 0 <= b < self.num_columns:
+            raise InvalidParameterError(
+                f"column must lie in [0, {self.num_columns}); got {b}"
+            )
+        return HeatKernelPushResult(
+            approximation=self.approximation[:, b].copy(),
+            t=float(self.ts[b]),
+            num_terms=int(self.num_terms[b]),
+            dropped_mass=float(self.dropped_mass[b]),
+            tail_bound=float(self.tail_bound[b]),
+            touched=np.flatnonzero(self.touched_mask[:, b]),
+            work=int(self.work[b]),
+        )
+
+
+def batch_hk_push(graph, seeds, *, ts=(5.0,), epsilons=(1e-4,),
+                  num_terms=None, tail_tol=1e-6):
+    """Run many truncated-Taylor heat-kernel diffusions in lockstep stages.
+
+    One column per ``(seed, t, epsilon)`` grid point. The engine exploits
+    a structural fact the scalar loop cannot: the rounded stage recursion
+
+        stage_{k+1} = [M stage_k]_ε
+
+    does not involve ``t`` at all — the diffusion time only enters through
+    the Taylor weights ``e^{-t} t^k / k!`` and the truncation order. So
+    the synchronized recursion runs over the *unique* ``(seed, ε)``
+    columns (one sparse matmul per stage for the whole batch), and every
+    ``t`` in the grid is accumulated from the shared stages with its own
+    weights, truncated at its own order. The whole t-grid costs one
+    recursion.
+
+    Per column the stage vectors — and hence rounding decisions, dropped
+    mass, work, and touched sets — match the scalar
+    :func:`repro.diffusion.hk_push.heat_kernel_push`, so the scalar error
+    bound carries over: the ℓ1 error of column ``b`` is at most
+    ``dropped_mass[b] + tail_bound[b]``.
+
+    Parameters
+    ----------
+    graph:
+        Graph with positive degrees.
+    seeds:
+        Sequence of seed specs. Integers are node ids (indicator seeds);
+        anything else must be a nonnegative length-``n`` vector.
+    ts:
+        Diffusion times in ``[0, SERIES_T_MAX]``; crossed with ``seeds``
+        and ``epsilons``.
+    epsilons:
+        Degree-normalized rounding thresholds in (0, 1).
+    num_terms:
+        Explicit Taylor truncation order for every column; derived per
+        ``t`` from ``tail_tol`` when omitted.
+    tail_tol:
+        Target Poisson tail when ``num_terms`` is omitted.
+
+    Returns
+    -------
+    BatchHeatKernelResult
+    """
+    from repro.diffusion.hk_push import (
+        _check_series_time,
+        poisson_tail,
+        terms_for_tail,
+    )
+
+    ts = np.asarray([
+        _check_series_time(check_positive(t, "t", allow_zero=True))
+        for t in np.atleast_1d(ts)
+    ])
+    epsilons = np.asarray(
+        [check_probability(e, "epsilon") for e in np.atleast_1d(epsilons)]
+    )
+    degrees = graph.degrees
+    if np.any(degrees <= 0):
+        raise InvalidParameterError("heat-kernel push needs positive degrees")
+    seed_matrix = _as_seed_matrix(graph, seeds)
+    num_seeds = seed_matrix.shape[1]
+    num_ts = ts.size
+    num_eps = epsilons.size
+
+    # Output grid: seed slowest, epsilon fastest (C order).
+    seed_idx = np.repeat(np.arange(num_seeds), num_ts * num_eps)
+    t_col = np.tile(np.repeat(ts, num_eps), num_seeds)
+    eps_col = np.tile(epsilons, num_seeds * num_ts)
+    num_columns = seed_idx.size
+
+    if num_terms is None:
+        terms_by_t = {
+            float(t): terms_for_tail(float(t), tail_tol) for t in set(ts)
+        }
+        terms_t = np.asarray(
+            [terms_by_t[float(t)] for t in ts], dtype=np.int64
+        )
+    else:
+        num_terms = check_int(num_terms, "num_terms", minimum=1)
+        terms_t = np.full(num_ts, num_terms, dtype=np.int64)
+    terms_col = np.tile(np.repeat(terms_t, num_eps), num_seeds)
+    max_terms = int(terms_t.max())
+
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    n = graph.num_nodes
+    deg_counts = np.diff(indptr)
+
+    from scipy import sparse
+
+    adjacency = sparse.csr_matrix(
+        (weights, indices, indptr), shape=(n, n)
+    )
+
+    # The rounded stage recursion is t-free, so it runs over the unique
+    # (seed, epsilon) columns only; every t reads the shared stages.
+    u_eps = np.tile(epsilons, num_seeds)
+    thresholds = degrees[:, None] * u_eps[None, :]
+    u_of_seed = np.repeat(np.arange(num_seeds), num_eps)
+
+    num_unique = u_eps.size
+    work_u = np.zeros(num_unique, dtype=np.int64)
+    touched_u = np.zeros((n, num_unique), dtype=bool)
+
+    # Taylor weight schedule: W[k, ti] = e^{-t} t^k / k! while the t still
+    # accumulates, 0 beyond its truncation order — per-t truncation is a
+    # zero weight, not control flow.
+    weight_schedule = np.zeros((max_terms + 1, num_ts))
+    weight_schedule[0] = np.exp(-ts)
+    for k in range(1, max_terms + 1):
+        weight_schedule[k] = weight_schedule[k - 1] * ts / k
+    weight_schedule[np.arange(max_terms + 1)[:, None] > terms_t[None, :]] = 0.0
+
+    # The accumulated output is a linear functional of the stage history,
+    # so rounded stages are written straight into a block buffer and all
+    # t-weights are applied with one compiled tensordot per block instead
+    # of T strided adds per stage.
+    block_size = min(16, max_terms + 1)
+    history = np.zeros((block_size, n, num_unique))
+    block_ks = []
+    accumulated = np.zeros((n, num_unique, num_ts))
+
+    def flush():
+        if block_ks:
+            accumulated[...] += np.tensordot(
+                history[: len(block_ks)],
+                weight_schedule[block_ks],
+                axes=([0], [0]),
+            )
+            block_ks.clear()
+
+    def round_into_buffer(vector, k):
+        """Threshold ``vector`` into the next history slot; return it.
+
+        The kept stage is ``vector * keep`` — a bool mask multiply,
+        bitwise identical to the scalar ``np.where`` rounding for the
+        nonnegative charges diffused here.
+        """
+        keep = vector >= thresholds
+        slot = history[len(block_ks)]
+        np.multiply(vector, keep, out=slot)
+        touched_u[...] |= keep
+        block_ks.append(k)
+        if len(block_ks) == block_size:
+            flush()
+        return slot, keep
+
+    seed_mass_u = seed_matrix.sum(axis=0)[u_of_seed]
+    stage, keep = round_into_buffer(seed_matrix[:, u_of_seed], 0)
+
+    # Per-t metadata outputs, viewed as (seed, t, epsilon) so each t's
+    # slice aligns with the (seed, epsilon) recursion matrix.
+    dropped = np.zeros(num_columns)
+    dropped_view = dropped.reshape(num_seeds, num_ts, num_eps)
+    work = np.zeros(num_columns, dtype=np.int64)
+    work_view = work.reshape(num_seeds, num_ts, num_eps)
+    touched = np.zeros((n, num_columns), dtype=bool)
+    touched_view = touched.reshape(n, num_seeds, num_ts, num_eps)
+
+    def snapshot(ti):
+        """Freeze t-column metadata when its Taylor order is exhausted.
+
+        The walk step ``q ↦ A (q / d)`` conserves ℓ1 mass exactly (in
+        exact arithmetic), so the mass dropped by rounding up to this
+        stage is the seed mass minus the current stage mass — one reduce
+        per t instead of two per stage.
+        """
+        dropped_view[:, ti, :] = (
+            seed_mass_u - stage.sum(axis=0)
+        ).reshape(num_seeds, num_eps)
+        work_view[:, ti, :] = work_u.reshape(num_seeds, num_eps)
+        touched_view[:, :, ti, :] = touched_u.reshape(n, num_seeds, num_eps)
+
+    for k in range(1, max_terms + 1):
+        # The support of the current stage is exactly the entries its
+        # rounding kept, so the frontier comes from the (cheap, bool)
+        # keep mask rather than another pass over the float matrix.
+        rows = np.flatnonzero(keep.any(axis=1))
+        if rows.size:
+            frontier_arcs = int(deg_counts[rows].sum())
+            if 4 * frontier_arcs >= indices.size:
+                # Wide stage: the union support covers most arcs, so one
+                # sparse matmul over the whole adjacency is cheapest.
+                work_u += (1 + deg_counts) @ keep
+                new_stage = adjacency @ (stage / degrees[:, None])
+            else:
+                # Narrow stage: slice the support's adjacency rows and use
+                # symmetry (A[:, rows] = A[rows, :].T) so the scatter is
+                # still one compiled sparse matmul, with cost proportional
+                # to the support volume — not to n.
+                work_u += (1 + deg_counts[rows]) @ keep[rows]
+                new_stage = adjacency[rows, :].T @ (
+                    stage[rows] / degrees[rows, None]
+                )
+        else:
+            new_stage = np.zeros_like(stage)
+        stage, keep = round_into_buffer(new_stage, k)
+        for ti in np.flatnonzero(terms_t == k):
+            snapshot(ti)
+    flush()
+
+    # (n, seed·eps, t) -> the C-ordered (n, seed, t, eps) output grid.
+    approximation = np.ascontiguousarray(
+        accumulated.reshape(n, num_seeds, num_eps, num_ts)
+        .transpose(0, 1, 3, 2)
+    ).reshape(n, num_columns)
+
+    tail_by_t = [
+        poisson_tail(float(t), int(m)) for t, m in zip(ts, terms_t)
+    ]
+    tail = np.tile(np.repeat(tail_by_t, num_eps), num_seeds)
+    return BatchHeatKernelResult(
+        approximation=approximation,
+        seed_indices=seed_idx,
+        ts=t_col,
+        epsilons=eps_col,
+        num_terms=terms_col,
+        dropped_mass=dropped,
+        tail_bound=tail,
+        work=work,
+        touched_mask=touched,
+        num_stages=max_terms,
     )
 
 

@@ -31,7 +31,7 @@ from repro._validation import (
     check_probability,
     check_vector,
 )
-from repro.diffusion.engine import gather_csr_arcs
+from repro.diffusion._csr import gather_csr_arcs
 from repro.exceptions import InvalidParameterError
 
 

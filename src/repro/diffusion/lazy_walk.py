@@ -59,8 +59,17 @@ def mixing_time(graph, *, alpha=0.5, tolerance=0.25, max_steps=100_000,
 
     With ``seed_node`` given, measures mixing from that start only (cheaper).
     Used to calibrate "aggressiveness" parameters across the three dynamics.
+
+    Raises
+    ------
+    ConvergenceError
+        When some start is still farther than ``tolerance`` from
+        stationarity after ``max_steps`` steps, carrying the final
+        total-variation distance as ``residual``. (Returning ``max_steps``
+        would silently misreport a non-mixed walk as mixed.)
     """
     from repro.diffusion.seeds import degree_seed, indicator_seed
+    from repro.exceptions import ConvergenceError
 
     stationary = degree_seed(graph)
     starts = (
@@ -73,10 +82,18 @@ def mixing_time(graph, *, alpha=0.5, tolerance=0.25, max_steps=100_000,
     for start in starts:
         charge = indicator_seed(graph, [start])
         steps = 0
-        while steps < max_steps:
+        while True:
             tv = 0.5 * float(np.abs(charge - stationary).sum())
             if tv <= tolerance:
                 break
+            if steps >= max_steps:
+                raise ConvergenceError(
+                    f"lazy walk from node {start} did not mix to "
+                    f"total-variation {tolerance} within {max_steps} steps "
+                    f"(reached {tv:.3g})",
+                    iterations=steps,
+                    residual=tv,
+                )
             charge = walk @ charge
             steps += 1
         worst = max(worst, steps)

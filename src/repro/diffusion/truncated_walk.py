@@ -11,6 +11,12 @@ with a degree-normalized rounding step
 The rounding is exactly the implicit regularizer the paper discusses — it
 biases the iterate toward sparse, low-volume support while keeping each step
 O(support volume).
+
+Two step implementations share the same semantics (trajectory recording,
+support accounting, dropped-mass bookkeeping): the default ``"vectorized"``
+step gathers the support's CSR slices and scatters through one bincount,
+and the original ``"scalar"`` per-node Python loop is kept as the parity
+oracle.
 """
 
 from __future__ import annotations
@@ -24,7 +30,10 @@ from repro._validation import (
     check_probability,
     check_vector,
 )
+from repro.diffusion._csr import gather_csr_arcs
 from repro.exceptions import InvalidParameterError
+
+_IMPLEMENTATIONS = ("vectorized", "scalar")
 
 
 @dataclass
@@ -54,7 +63,8 @@ class TruncatedWalkResult:
 
 
 def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
-                        alpha=0.5, keep_trajectory=True):
+                        alpha=0.5, keep_trajectory=True,
+                        implementation="vectorized"):
     """Run ``num_steps`` of the truncated lazy random walk.
 
     Parameters
@@ -71,6 +81,11 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
         Holding probability of the lazy walk.
     keep_trajectory:
         Record every intermediate vector (the sweep-cut driver needs them).
+    implementation:
+        ``"vectorized"`` (default) spreads charge with one CSR gather and
+        bincount scatter per step; ``"scalar"`` is the per-node Python
+        loop, kept as the parity oracle. Both perform the same
+        substochastic update restricted to the current support.
 
     Returns
     -------
@@ -85,6 +100,11 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
     num_steps = check_int(num_steps, "num_steps", minimum=0)
     epsilon = check_probability(epsilon, "epsilon")
     alpha = check_probability(alpha, "alpha")
+    if implementation not in _IMPLEMENTATIONS:
+        raise InvalidParameterError(
+            f"implementation must be one of {_IMPLEMENTATIONS}; "
+            f"got {implementation!r}"
+        )
     seed = check_vector(seed_vector, graph.num_nodes, "seed_vector")
     if np.any(seed < 0):
         raise InvalidParameterError("truncated walk needs a nonnegative seed")
@@ -99,6 +119,29 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
         out = np.where(keep, vector, 0.0)
         return out, dropped
 
+    def step_scalar(charge, support):
+        new_charge = alpha * charge
+        for u in support:
+            flow = (1.0 - alpha) * charge[u] / degrees[u]
+            start, stop = indptr[u], indptr[u + 1]
+            for k in range(start, stop):
+                new_charge[indices[k]] += flow * weights[k]
+        return new_charge
+
+    def step_vectorized(charge, support):
+        new_charge = alpha * charge
+        if support.size:
+            arc_positions, counts = gather_csr_arcs(indptr, support)
+            flow = (1.0 - alpha) * charge[support] / degrees[support]
+            new_charge += np.bincount(
+                indices[arc_positions],
+                weights=weights[arc_positions] * np.repeat(flow, counts),
+                minlength=graph.num_nodes,
+            )
+        return new_charge
+
+    step = step_vectorized if implementation == "vectorized" else step_scalar
+
     charge, dropped_total = rounded(seed)
     result = TruncatedWalkResult(final=charge)
     result.dropped_mass = dropped_total
@@ -109,19 +152,13 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
             result.trajectory.append(vector.copy())
         result.support_sizes.append(int(support.size))
         result.support_volumes.append(float(degrees[support].sum()))
+        return support
 
-    record(charge)
+    support = record(charge)
     for _ in range(num_steps):
-        new_charge = alpha * charge
-        support = np.flatnonzero(charge)
-        for u in support:
-            flow = (1.0 - alpha) * charge[u] / degrees[u]
-            start, stop = indptr[u], indptr[u + 1]
-            for k in range(start, stop):
-                new_charge[indices[k]] += flow * weights[k]
-        charge, dropped = rounded(new_charge)
+        charge, dropped = rounded(step(charge, support))
         result.dropped_mass += dropped
-        record(charge)
+        support = record(charge)
     result.final = charge
     return result
 

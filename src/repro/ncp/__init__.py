@@ -13,7 +13,16 @@ from repro.ncp.profile import (
     NCPProfile,
     best_per_size_bucket,
     flow_cluster_ensemble_ncp,
+    hk_cluster_ensemble_ncp,
     spectral_cluster_ensemble_ncp,
+    walk_cluster_ensemble_ncp,
+)
+from repro.ncp.runner import (
+    GridChunk,
+    NCPRunResult,
+    graph_fingerprint,
+    plan_chunks,
+    run_ncp_ensemble,
 )
 
 __all__ = [
@@ -23,10 +32,17 @@ __all__ = [
     "ClusterCandidate",
     "ClusterNiceness",
     "Figure1Result",
+    "GridChunk",
     "NCPProfile",
+    "NCPRunResult",
     "best_per_size_bucket",
     "cluster_niceness",
     "figure1_comparison",
     "flow_cluster_ensemble_ncp",
+    "graph_fingerprint",
+    "hk_cluster_ensemble_ncp",
+    "plan_chunks",
+    "run_ncp_ensemble",
     "spectral_cluster_ensemble_ncp",
+    "walk_cluster_ensemble_ncp",
 ]

@@ -216,16 +216,25 @@ def figure1_comparison(
     min_cluster_size=4,
     seed=None,
     niceness_seed=0,
+    num_workers=0,
+    cache_dir=None,
 ):
     """Run the complete Figure 1 experiment on one graph.
 
     Returns a :class:`Figure1Result`. Parameters mirror the two ensemble
     generators; ``num_buckets`` controls the size resolution of the panels.
+    The spectral ensemble goes through :mod:`repro.ncp.runner`, so
+    ``num_workers >= 1`` shards its diffusion grid across processes and
+    ``cache_dir`` memoizes the shards on disk; both leave the result
+    unchanged.
     """
-    spectral = spectral_cluster_ensemble_ncp(
-        graph, num_seeds=num_seeds, alphas=alphas, epsilons=epsilons,
-        seed=seed,
-    )
+    from repro.ncp.runner import run_ncp_ensemble
+
+    spectral = run_ncp_ensemble(
+        graph, dynamics="ppr", num_seeds=num_seeds, alphas=alphas,
+        epsilons=epsilons, seed=seed, num_workers=num_workers,
+        cache_dir=cache_dir,
+    ).candidates
     flow = flow_cluster_ensemble_ncp(
         graph, min_size=min_cluster_size, seed=seed
     )

@@ -7,16 +7,23 @@ algorithm?* Different approximation algorithms draw different curves on the
 same graph, and the systematic gap between the spectral and the flow curves
 is the paper's empirical evidence for implicit regularization.
 
-Two ensemble generators:
+Four ensemble generators:
 
 * :func:`spectral_cluster_ensemble_ncp` — the "LocalSpectral (blue)" side:
   ACL push from many random seeds over a grid of (α, ε); every sweep prefix
   of every run is a candidate cluster.
+* :func:`hk_cluster_ensemble_ncp` — the heat-kernel dynamics: truncated
+  Taylor push over a grid of (t, ε), batched through
+  :func:`repro.diffusion.engine.batch_hk_push`.
+* :func:`walk_cluster_ensemble_ncp` — the Spielman–Teng truncated lazy
+  walk over a grid of (steps, ε), using the vectorized walk kernel.
 * :func:`flow_cluster_ensemble_ncp` — the "Metis+MQI (red)" side: recursive
   multilevel bisection proposes clusters at all scales, each improved by
   iterated MQI.
 
-Candidates are reduced to a profile by :func:`best_per_size_bucket`.
+Candidates are reduced to a profile by :func:`best_per_size_bucket`. For
+large grids, :mod:`repro.ncp.runner` shards the diffusion ensembles across
+worker processes and memoizes chunk results on disk.
 """
 
 from __future__ import annotations
@@ -26,9 +33,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._validation import as_rng, check_int
-from repro.diffusion.engine import batch_ppr_push
+from repro.diffusion.engine import batch_hk_push, batch_ppr_push
+from repro.diffusion.hk_push import heat_kernel_push
 from repro.diffusion.push import approximate_ppr_push
 from repro.diffusion.seeds import degree_weighted_indicator_seed
+from repro.diffusion.truncated_walk import truncated_lazy_walk
 from repro.exceptions import InvalidParameterError, PartitionError
 from repro.partition.metrics import conductance
 from repro.partition.mqi import mqi
@@ -90,6 +99,37 @@ class NCPProfile:
 _BATCH_ENTRY_BUDGET = 2_000_000
 
 
+def _sample_seed_nodes(graph, num_seeds, rng):
+    """Sample seed nodes by degree (stationary measure), as in [27]."""
+    probabilities = graph.degrees / graph.total_volume
+    return rng.choice(
+        graph.num_nodes, size=num_seeds, replace=True, p=probabilities
+    )
+
+
+def _record_sweep_candidates(graph, approximation, candidates, method,
+                             max_cluster_size):
+    """Sweep a diffusion output and record best-per-octave candidates."""
+    support = np.flatnonzero(approximation > 0)
+    if support.size < 2:
+        return
+    try:
+        sweep = sweep_cut(
+            graph, approximation, degree_normalize=True,
+            restrict_to=support, max_size=max_cluster_size,
+        )
+    except PartitionError:
+        return
+    _octave_candidates(graph, sweep, candidates, method, max_cluster_size)
+
+
+def _seed_chunks(seed_nodes, n, grid_size):
+    """Chunk seed nodes so each dense engine batch stays within budget."""
+    chunk = max(1, _BATCH_ENTRY_BUDGET // max(n * max(grid_size, 1), 1))
+    for start in range(0, len(seed_nodes), chunk):
+        yield seed_nodes[start:start + chunk]
+
+
 def spectral_cluster_ensemble_ncp(
     graph,
     *,
@@ -123,30 +163,25 @@ def spectral_cluster_ensemble_ncp(
             f"engine must be 'batched' or 'scalar'; got {engine!r}"
         )
     rng = as_rng(seed)
-    n = graph.num_nodes
     if max_cluster_size is None:
-        max_cluster_size = n // 2
-    # Seed nodes sampled by degree (stationary measure), as in [27].
-    probabilities = graph.degrees / graph.total_volume
-    seed_nodes = rng.choice(n, size=num_seeds, replace=True, p=probabilities)
+        max_cluster_size = graph.num_nodes // 2
+    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
+    return spectral_candidates_for_seed_nodes(
+        graph, seed_nodes, alphas=alphas, epsilons=epsilons,
+        max_cluster_size=max_cluster_size, engine=engine,
+    )
+
+
+def spectral_candidates_for_seed_nodes(graph, seed_nodes, *, alphas,
+                                       epsilons, max_cluster_size,
+                                       engine="batched"):
+    """Spectral (ACL push) candidates for explicit seed nodes.
+
+    The sharding entry point used by :mod:`repro.ncp.runner`: the caller
+    controls exactly which seed nodes this invocation covers, so grid
+    chunks can be distributed across processes and merged deterministically.
+    """
     candidates = []
-
-    def record(approximation):
-        support = np.flatnonzero(approximation > 0)
-        if support.size < 2:
-            return
-        try:
-            sweep = sweep_cut(
-                graph, approximation, degree_normalize=True,
-                restrict_to=support, max_size=max_cluster_size,
-            )
-        except PartitionError:
-            return
-        # Record the best prefix in every size octave of the sweep.
-        _octave_candidates(
-            graph, sweep, candidates, "spectral", max_cluster_size
-        )
-
     if engine == "scalar":
         for seed_node in seed_nodes:
             seed_vector = degree_weighted_indicator_seed(
@@ -157,13 +192,14 @@ def spectral_cluster_ensemble_ncp(
                     push = approximate_ppr_push(
                         graph, seed_vector, alpha=alpha, epsilon=epsilon
                     )
-                    record(push.approximation)
+                    _record_sweep_candidates(
+                        graph, push.approximation, candidates, "spectral",
+                        max_cluster_size,
+                    )
         return candidates
 
-    grid = max(len(alphas) * len(epsilons), 1)
-    chunk = max(1, _BATCH_ENTRY_BUDGET // max(n * grid, 1))
-    for start in range(0, len(seed_nodes), chunk):
-        block = seed_nodes[start:start + chunk]
+    grid = len(alphas) * len(epsilons)
+    for block in _seed_chunks(seed_nodes, graph.num_nodes, grid):
         seed_vectors = [
             degree_weighted_indicator_seed(graph, [int(s)]) for s in block
         ]
@@ -171,7 +207,141 @@ def spectral_cluster_ensemble_ncp(
             graph, seed_vectors, alphas=alphas, epsilons=epsilons
         )
         for b in range(batch.num_columns):
-            record(batch.approximation[:, b])
+            _record_sweep_candidates(
+                graph, batch.approximation[:, b], candidates, "spectral",
+                max_cluster_size,
+            )
+    return candidates
+
+
+def hk_cluster_ensemble_ncp(
+    graph,
+    *,
+    num_seeds=40,
+    ts=(3.0, 10.0, 30.0),
+    epsilons=(1e-3, 1e-4),
+    max_cluster_size=None,
+    seed=None,
+    engine="batched",
+):
+    """Generate the heat-kernel candidate ensemble by HK push sweeps.
+
+    The heat-kernel analogue of :func:`spectral_cluster_ensemble_ncp`: for
+    each degree-sampled seed node and each (t, ε) grid point, run the
+    truncated-Taylor heat-kernel diffusion and record the best sweep
+    prefix per size octave. ``engine="batched"`` runs the whole
+    seed × t × ε grid through
+    :func:`repro.diffusion.engine.batch_hk_push` (chunked over seeds to
+    bound memory); ``engine="scalar"`` is the one-diffusion-at-a-time
+    loop, kept as the parity reference.
+
+    Returns a list of :class:`ClusterCandidate` with method ``"hk"``.
+    """
+    check_int(num_seeds, "num_seeds", minimum=1)
+    if engine not in ("batched", "scalar"):
+        raise InvalidParameterError(
+            f"engine must be 'batched' or 'scalar'; got {engine!r}"
+        )
+    rng = as_rng(seed)
+    if max_cluster_size is None:
+        max_cluster_size = graph.num_nodes // 2
+    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
+    return hk_candidates_for_seed_nodes(
+        graph, seed_nodes, ts=ts, epsilons=epsilons,
+        max_cluster_size=max_cluster_size, engine=engine,
+    )
+
+
+def hk_candidates_for_seed_nodes(graph, seed_nodes, *, ts, epsilons,
+                                 max_cluster_size, engine="batched"):
+    """Heat-kernel candidates for explicit seed nodes (runner shard)."""
+    candidates = []
+    if engine == "scalar":
+        for seed_node in seed_nodes:
+            seed_vector = degree_weighted_indicator_seed(
+                graph, [int(seed_node)]
+            )
+            for t in ts:
+                for epsilon in epsilons:
+                    push = heat_kernel_push(
+                        graph, seed_vector, t, epsilon=epsilon
+                    )
+                    _record_sweep_candidates(
+                        graph, push.approximation, candidates, "hk",
+                        max_cluster_size,
+                    )
+        return candidates
+
+    grid = len(ts) * len(epsilons)
+    for block in _seed_chunks(seed_nodes, graph.num_nodes, grid):
+        seed_vectors = [
+            degree_weighted_indicator_seed(graph, [int(s)]) for s in block
+        ]
+        batch = batch_hk_push(graph, seed_vectors, ts=ts, epsilons=epsilons)
+        for b in range(batch.num_columns):
+            _record_sweep_candidates(
+                graph, batch.approximation[:, b], candidates, "hk",
+                max_cluster_size,
+            )
+    return candidates
+
+
+def walk_cluster_ensemble_ncp(
+    graph,
+    *,
+    num_seeds=40,
+    steps=(4, 16, 64),
+    epsilons=(1e-3, 1e-4),
+    alpha=0.5,
+    max_cluster_size=None,
+    seed=None,
+):
+    """Generate the truncated-lazy-walk candidate ensemble [39].
+
+    For each degree-sampled seed node and each (steps, ε) grid point, run
+    the vectorized truncated lazy walk and record the best sweep prefix of
+    the final (degree-normalized) charge per size octave. The step count
+    is the aggressiveness parameter of Section 3.1; ε is the implicit
+    regularizer.
+
+    Returns a list of :class:`ClusterCandidate` with method ``"walk"``.
+    """
+    check_int(num_seeds, "num_seeds", minimum=1)
+    rng = as_rng(seed)
+    if max_cluster_size is None:
+        max_cluster_size = graph.num_nodes // 2
+    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
+    return walk_candidates_for_seed_nodes(
+        graph, seed_nodes, steps=steps, epsilons=epsilons, alpha=alpha,
+        max_cluster_size=max_cluster_size,
+    )
+
+
+def walk_candidates_for_seed_nodes(graph, seed_nodes, *, steps, epsilons,
+                                   alpha, max_cluster_size):
+    """Truncated-walk candidates for explicit seed nodes (runner shard).
+
+    Walk trajectories are prefix-closed, so each seed × ε pair runs one
+    walk to ``max(steps)`` and sweeps the charge vector at every requested
+    step count — the trajectory is reused across the steps grid.
+    """
+    candidates = []
+    wanted = sorted(set(check_int(s, "steps", minimum=0) for s in steps))
+    if not wanted:
+        return candidates
+    horizon = wanted[-1]
+    for seed_node in seed_nodes:
+        seed_vector = degree_weighted_indicator_seed(graph, [int(seed_node)])
+        for epsilon in epsilons:
+            walk = truncated_lazy_walk(
+                graph, seed_vector, horizon, epsilon=epsilon, alpha=alpha,
+                keep_trajectory=True,
+            )
+            for k in wanted:
+                _record_sweep_candidates(
+                    graph, walk.trajectory[k], candidates, "walk",
+                    max_cluster_size,
+                )
     return candidates
 
 
@@ -201,6 +371,24 @@ def _octave_candidates(graph, sweep, out, method, max_cluster_size):
             break
 
 
+def _unique_clusters(clusters):
+    """Drop exact duplicate node sets, preserving first-seen order.
+
+    Keyed on the full sorted membership bytes: summary keys (size,
+    endpoints, checksums) can alias distinct clusters and silently drop
+    real candidates from the ensemble.
+    """
+    seen = set()
+    unique = []
+    for nodes in clusters:
+        key = np.ascontiguousarray(nodes, dtype=np.int64).tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(nodes)
+    return unique
+
+
 def flow_cluster_ensemble_ncp(graph, *, min_size=4, seed=None,
                               improve_with_mqi=True, max_mqi_size=None):
     """Generate the flow candidate ensemble: recursive bisection (+ MQI).
@@ -217,13 +405,7 @@ def flow_cluster_ensemble_ncp(graph, *, min_size=4, seed=None,
     if max_mqi_size is None:
         max_mqi_size = graph.num_nodes
     candidates = []
-    seen = set()
-    for nodes in clusters:
-        key = (nodes.size, int(nodes[0]), int(nodes[-1]),
-               int(nodes.sum() % (1 << 61)))
-        if key in seen:
-            continue
-        seen.add(key)
+    for nodes in _unique_clusters(clusters):
         phi = conductance(graph, nodes)
         candidates.append(
             ClusterCandidate(nodes=nodes, conductance=phi, method="flow")
@@ -265,6 +447,11 @@ def best_per_size_bucket(candidates, *, num_buckets=12, min_size=2,
     representatives = [None] * (edges.size - 1)
     for candidate in pool:
         bucket = int(np.searchsorted(edges, candidate.size, side="right")) - 1
+        if candidate.size == edges[-1]:
+            # A size exactly on the top bucket edge lands past the last
+            # bucket under right-open bucketing; clamp it into the last
+            # bucket so the largest cluster is profiled, not dropped.
+            bucket = best.size - 1
         if bucket < 0 or bucket >= best.size:
             continue
         if np.isnan(best[bucket]) or candidate.conductance < best[bucket]:

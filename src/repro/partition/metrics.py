@@ -14,7 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import PartitionError
+from repro.exceptions import (
+    ConvergenceError,
+    InvalidParameterError,
+    PartitionError,
+)
 
 
 def _validated_mask(graph, nodes):
@@ -79,9 +83,9 @@ def graph_conductance_exact(graph):
     n = graph.num_nodes
     if n < 2:
         raise PartitionError("conductance needs at least 2 nodes")
-    if n > 22:
+    if n > 18:
         raise PartitionError(
-            f"exact conductance is exponential; refusing n={n} > 22"
+            f"exact conductance is exponential; refusing n={n} > 18"
         )
     best = float("inf")
     best_set = None
@@ -128,7 +132,11 @@ def internal_conductance(graph, nodes, *, method="lanczos", seed=None):
         return 0.0
     try:
         result = spectral_cut(subgraph, method=method, seed=seed)
-    except Exception:  # degenerate tiny subgraphs: fall back to exact
+    except (ConvergenceError, InvalidParameterError, PartitionError,
+            np.linalg.LinAlgError):
+        # Degenerate tiny subgraphs (eigensolver or LAPACK breakdown, no
+        # admissible sweep): fall back to exhaustive search. Anything
+        # else — a bug, a keyboard interrupt — propagates.
         if subgraph.num_nodes <= 18:
             value, _ = graph_conductance_exact(subgraph)
             return value

@@ -18,7 +18,9 @@ import numpy as np
 import pytest
 
 from repro.diffusion.engine import (
+    BatchHeatKernelResult,
     BatchPushResult,
+    batch_hk_push,
     batch_ppr_push,
     ppr_push_frontier,
 )
@@ -27,6 +29,7 @@ from repro.diffusion.hk_push import (
     heat_kernel_push,
     terms_for_tail,
 )
+from repro.diffusion.truncated_walk import truncated_lazy_walk
 from repro.diffusion.pagerank import lazy_pagerank_exact
 from repro.diffusion.push import approximate_ppr_push
 from repro.diffusion.seeds import (
@@ -370,14 +373,183 @@ class TestHeatKernelPushHardening:
         )
 
 
+class TestBatchHeatKernel:
+    TS = (0.5, 3.0, 10.0)
+    EPS = (1e-3, 1e-4)
+
+    def test_grid_columns_match_scalar_oracle(self, whiskered):
+        seeds = [3, 17, 55]
+        batch = batch_hk_push(
+            whiskered, seeds, ts=self.TS, epsilons=self.EPS
+        )
+        assert isinstance(batch, BatchHeatKernelResult)
+        assert batch.num_columns == len(seeds) * len(self.TS) * len(self.EPS)
+        b = 0
+        for si, seed_node in enumerate(seeds):
+            vector = indicator_seed(whiskered, [seed_node])
+            for t in self.TS:
+                for epsilon in self.EPS:
+                    assert batch.seed_indices[b] == si
+                    assert batch.ts[b] == t
+                    assert batch.epsilons[b] == epsilon
+                    scalar = heat_kernel_push(
+                        whiskered, vector, t, epsilon=epsilon
+                    )
+                    column = batch.column(b)
+                    # The t-free stage recursion reproduces the scalar
+                    # stages up to summation order, so everything matches
+                    # to roundoff.
+                    assert np.allclose(
+                        column.approximation, scalar.approximation,
+                        atol=1e-13,
+                    )
+                    assert column.num_terms == scalar.num_terms
+                    assert column.work == scalar.work
+                    assert np.array_equal(column.touched, scalar.touched)
+                    assert column.dropped_mass == pytest.approx(
+                        scalar.dropped_mass, abs=1e-12
+                    )
+                    assert column.tail_bound == pytest.approx(
+                        scalar.tail_bound, abs=1e-15
+                    )
+                    b += 1
+
+    def test_parity_on_random_graphs(self):
+        rng = np.random.default_rng(7)
+        for trial in range(6):
+            graph = random_graph(
+                rng, int(rng.integers(8, 40)), int(rng.integers(0, 30)),
+                weighted=trial % 2 == 0,
+            )
+            seed_node = int(rng.integers(graph.num_nodes))
+            t = float(rng.uniform(0.2, 8.0))
+            epsilon = float(rng.choice([1e-2, 1e-3, 1e-4]))
+            scalar = heat_kernel_push(
+                graph, indicator_seed(graph, [seed_node]), t,
+                epsilon=epsilon,
+            )
+            batch = batch_hk_push(
+                graph, [seed_node], ts=(t,), epsilons=(epsilon,)
+            )
+            assert np.allclose(
+                batch.approximation[:, 0], scalar.approximation,
+                atol=1e-13,
+            )
+            assert int(batch.work[0]) == scalar.work
+
+    def test_entrywise_error_budget_vs_exact(self, ring):
+        from repro.diffusion.heat_kernel import heat_kernel_vector
+
+        s = indicator_seed(ring, [0])
+        t = 2.0
+        batch = batch_hk_push(ring, [s], ts=(t,), epsilons=(1e-7,))
+        exact = heat_kernel_vector(ring, s, t, kind="random_walk")
+        budget = batch.dropped_mass[0] + batch.tail_bound[0]
+        assert np.abs(batch.approximation[:, 0] - exact).sum() <= (
+            budget + 1e-9
+        )
+
+    def test_zero_time_returns_rounded_seed(self, ring):
+        s = indicator_seed(ring, [0])
+        batch = batch_hk_push(ring, [s], ts=(0.0,), epsilons=(1e-4,))
+        scalar = heat_kernel_push(ring, s, 0.0, epsilon=1e-4)
+        assert np.allclose(
+            batch.approximation[:, 0], scalar.approximation, atol=1e-15
+        )
+
+    def test_explicit_num_terms_matches_scalar(self, ring):
+        s = indicator_seed(ring, [0])
+        batch = batch_hk_push(
+            ring, [s], ts=(2.0,), epsilons=(1e-4,), num_terms=5
+        )
+        scalar = heat_kernel_push(ring, s, 2.0, epsilon=1e-4, num_terms=5)
+        assert np.allclose(
+            batch.approximation[:, 0], scalar.approximation, atol=1e-13
+        )
+        assert int(batch.num_terms[0]) == scalar.num_terms == 5
+
+    def test_invalid_inputs_rejected(self, ring):
+        with pytest.raises(InvalidParameterError):
+            batch_hk_push(ring, [], ts=(1.0,))
+        with pytest.raises(InvalidParameterError):
+            batch_hk_push(ring, [0], ts=(SERIES_T_MAX + 1.0,))
+        with pytest.raises(InvalidParameterError):
+            batch_hk_push(ring, [0], ts=(1.0,), epsilons=(2.0,))
+        with pytest.raises(InvalidParameterError):
+            batch_hk_push(ring, [np.full(ring.num_nodes, -1.0)])
+        batch = batch_hk_push(ring, [0])
+        with pytest.raises(InvalidParameterError):
+            batch.column(batch.num_columns)
+        with pytest.raises(InvalidParameterError):
+            batch.column(-1)
+
+
+class TestVectorizedTruncatedWalk:
+    def test_matches_scalar_trajectory(self, whiskered):
+        s = degree_weighted_indicator_seed(whiskered, [7])
+        scalar = truncated_lazy_walk(
+            whiskered, s, 12, epsilon=1e-4, implementation="scalar"
+        )
+        fast = truncated_lazy_walk(
+            whiskered, s, 12, epsilon=1e-4, implementation="vectorized"
+        )
+        assert len(scalar.trajectory) == len(fast.trajectory) == 13
+        for a, b in zip(scalar.trajectory, fast.trajectory):
+            assert np.allclose(a, b, atol=1e-13)
+        assert scalar.support_sizes == fast.support_sizes
+        assert scalar.support_volumes == fast.support_volumes
+        assert scalar.dropped_mass == pytest.approx(
+            fast.dropped_mass, abs=1e-12
+        )
+
+    def test_parity_on_random_weighted_graphs(self):
+        rng = np.random.default_rng(11)
+        for trial in range(6):
+            graph = random_graph(
+                rng, int(rng.integers(6, 30)), int(rng.integers(0, 25)),
+                weighted=True,
+            )
+            s = indicator_seed(graph, [int(rng.integers(graph.num_nodes))])
+            epsilon = float(rng.choice([1e-2, 1e-3]))
+            alpha = float(rng.uniform(0.3, 0.7))
+            steps = int(rng.integers(1, 10))
+            scalar = truncated_lazy_walk(
+                graph, s, steps, epsilon=epsilon, alpha=alpha,
+                implementation="scalar",
+            )
+            fast = truncated_lazy_walk(
+                graph, s, steps, epsilon=epsilon, alpha=alpha,
+                implementation="vectorized",
+            )
+            assert np.allclose(scalar.final, fast.final, atol=1e-13)
+
+    def test_keep_trajectory_false_still_accounts_support(self, ring):
+        s = indicator_seed(ring, [0])
+        result = truncated_lazy_walk(
+            ring, s, 5, epsilon=1e-4, keep_trajectory=False
+        )
+        assert result.trajectory == []
+        assert len(result.support_sizes) == 6
+        assert len(result.support_volumes) == 6
+
+    def test_unknown_implementation_rejected(self, ring):
+        with pytest.raises(InvalidParameterError):
+            truncated_lazy_walk(
+                ring, indicator_seed(ring, [0]), 3, epsilon=1e-3,
+                implementation="fpga",
+            )
+
+
 @pytest.mark.perf
 class TestEnginePerformanceRegression:
-    def test_batched_engine_not_slower_than_scalar(self):
-        """Smoke benchmark: batched vs scalar on the reference graph.
+    def test_batched_engines_beat_scalar_loops(self):
+        """Smoke benchmark: every batched dynamics vs its scalar loop.
 
-        Writes ``BENCH_engine.json`` (wall time + pushes/sec) and fails
-        if the batched engine is slower than the scalar loop on the
-        synthetic-DBLP reference workload.
+        Times the PPR push grid, the heat-kernel t-grid, and the
+        truncated lazy walk on the synthetic AtP-DBLP reference graph,
+        writes ``BENCH_engine.json`` with one section per dynamics, and
+        fails if any batched/vectorized path regresses below its scalar
+        oracle loop.
         """
         from repro.datasets import load_graph
 
@@ -389,8 +561,10 @@ class TestEnginePerformanceRegression:
         ]
         alphas = (0.05, 0.15)
         epsilons = (1e-3, 1e-4)
+        hk_ts = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+        walk_steps = 30
 
-        def time_scalar():
+        def time_ppr_scalar():
             start = time.perf_counter()
             pushes = 0
             for vector in seeds:
@@ -402,37 +576,91 @@ class TestEnginePerformanceRegression:
                         pushes += result.num_pushes
             return time.perf_counter() - start, pushes
 
-        def time_batched():
+        def time_ppr_batched():
             start = time.perf_counter()
             result = batch_ppr_push(
                 graph, seeds, alphas=alphas, epsilons=epsilons
             )
             return time.perf_counter() - start, result
 
-        # Best of two rounds each, so a one-off scheduler or GC pause on
-        # a noisy CI runner cannot flip the comparison.
-        (scalar_seconds, scalar_pushes) = min(
-            (time_scalar() for _ in range(2)), key=lambda pair: pair[0]
-        )
-        (batched_seconds, batch) = min(
-            (time_batched() for _ in range(2)), key=lambda pair: pair[0]
-        )
-        batched_pushes = int(batch.num_pushes.sum())
+        def time_hk_scalar():
+            start = time.perf_counter()
+            for vector in seeds:
+                for t in hk_ts:
+                    for epsilon in epsilons:
+                        heat_kernel_push(graph, vector, t, epsilon=epsilon)
+            return time.perf_counter() - start, None
 
+        def time_hk_batched():
+            start = time.perf_counter()
+            result = batch_hk_push(
+                graph, seeds, ts=hk_ts, epsilons=epsilons
+            )
+            return time.perf_counter() - start, result
+
+        def time_walk(implementation):
+            def timer():
+                start = time.perf_counter()
+                for vector in seeds:
+                    truncated_lazy_walk(
+                        graph, vector, walk_steps, epsilon=1e-4,
+                        keep_trajectory=False,
+                        implementation=implementation,
+                    )
+                return time.perf_counter() - start, None
+            return timer
+
+        def best_of(timer, rounds=3):
+            # Best of several rounds, so a one-off scheduler or GC pause
+            # on a noisy CI runner cannot flip the comparison.
+            return min((timer() for _ in range(rounds)),
+                       key=lambda pair: pair[0])
+
+        scalar_seconds, scalar_pushes = best_of(time_ppr_scalar)
+        batched_seconds, batch = best_of(time_ppr_batched)
+        hk_scalar_seconds, _ = best_of(time_hk_scalar)
+        hk_batched_seconds, hk_batch = best_of(time_hk_batched)
+        walk_scalar_seconds, _ = best_of(time_walk("scalar"))
+        walk_vec_seconds, _ = best_of(time_walk("vectorized"))
+
+        batched_pushes = int(batch.num_pushes.sum())
         report = {
             "graph": "atp (synthetic AtP-DBLP, small)",
             "num_nodes": graph.num_nodes,
             "num_edges": graph.num_edges,
-            "num_columns": batch.num_columns,
-            "scalar_seconds": scalar_seconds,
-            "batched_seconds": batched_seconds,
-            "scalar_pushes_per_sec": scalar_pushes / scalar_seconds,
-            "batched_pushes_per_sec": batched_pushes / batched_seconds,
-            "speedup": scalar_seconds / batched_seconds,
-            "num_sweeps": batch.num_sweeps,
+            "ppr": {
+                "num_columns": batch.num_columns,
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": batched_seconds,
+                "scalar_pushes_per_sec": scalar_pushes / scalar_seconds,
+                "batched_pushes_per_sec": batched_pushes / batched_seconds,
+                "speedup": scalar_seconds / batched_seconds,
+                "num_sweeps": batch.num_sweeps,
+            },
+            "hk": {
+                "num_columns": hk_batch.num_columns,
+                "t_grid": list(hk_ts),
+                "scalar_seconds": hk_scalar_seconds,
+                "batched_seconds": hk_batched_seconds,
+                "speedup": hk_scalar_seconds / hk_batched_seconds,
+                "num_stages": hk_batch.num_stages,
+            },
+            "walk": {
+                "num_walks": len(seeds),
+                "num_steps": walk_steps,
+                "scalar_seconds": walk_scalar_seconds,
+                "vectorized_seconds": walk_vec_seconds,
+                "speedup": walk_scalar_seconds / walk_vec_seconds,
+            },
         }
         out_path = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
         out_path.write_text(json.dumps(report, indent=2) + "\n")
         assert batched_seconds <= scalar_seconds, (
-            f"batched engine regressed below scalar: {report}"
+            f"batched PPR engine regressed below scalar: {report}"
+        )
+        assert hk_batched_seconds <= hk_scalar_seconds, (
+            f"batched HK engine regressed below scalar: {report}"
+        )
+        assert walk_vec_seconds <= walk_scalar_seconds, (
+            f"vectorized walk regressed below scalar: {report}"
         )

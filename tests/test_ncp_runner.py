@@ -1,0 +1,330 @@
+"""Tests for the sharded NCP runner and the profile/ensemble bug fixes.
+
+The runner's contract is determinism: the candidate ensemble must be
+identical whether chunks run serially in-process, on a worker pool, or
+come back from the on-disk memo — and identical to the direct generator
+loop. The regression tests pin the profile bugs this PR fixes: the
+top-edge bucket drop, the collision-prone flow dedup key, and the
+mixing-time non-convergence lie.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion import mixing_time
+from repro.exceptions import (
+    ConvergenceError,
+    InvalidParameterError,
+    PartitionError,
+)
+from repro.graph.generators import cycle_graph
+from repro.ncp.profile import (
+    ClusterCandidate,
+    _unique_clusters,
+    best_per_size_bucket,
+    hk_cluster_ensemble_ncp,
+    spectral_cluster_ensemble_ncp,
+    walk_cluster_ensemble_ncp,
+)
+from repro.ncp.runner import (
+    graph_fingerprint,
+    plan_chunks,
+    run_ncp_ensemble,
+)
+from repro.partition.metrics import graph_conductance_exact
+
+
+def candidate_signature(candidates):
+    """Order-sensitive exact signature of a candidate ensemble."""
+    return [
+        (c.nodes.tobytes(), c.conductance, c.method) for c in candidates
+    ]
+
+
+GRID = dict(num_seeds=8, alphas=(0.05, 0.15), epsilons=(1e-3, 1e-4))
+
+
+class TestRunnerDeterminism:
+    def test_serial_runner_matches_direct_generator(self, whiskered):
+        direct = spectral_cluster_ensemble_ncp(whiskered, seed=3, **GRID)
+        run = run_ncp_ensemble(
+            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=3, **GRID
+        )
+        assert run.num_chunks == 3
+        assert run.num_workers == 0
+        assert candidate_signature(run.candidates) == candidate_signature(
+            direct
+        )
+
+    def test_worker_pool_matches_serial(self, whiskered):
+        serial = run_ncp_ensemble(
+            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=3, **GRID
+        )
+        pooled = run_ncp_ensemble(
+            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=3,
+            num_workers=2, **GRID
+        )
+        assert pooled.num_workers == 2
+        assert candidate_signature(pooled.candidates) == (
+            candidate_signature(serial.candidates)
+        )
+
+    def test_chunk_width_does_not_change_ensemble(self, whiskered):
+        wide = run_ncp_ensemble(
+            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=8, **GRID
+        )
+        narrow = run_ncp_ensemble(
+            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=1, **GRID
+        )
+        assert narrow.num_chunks == 8
+        assert candidate_signature(wide.candidates) == candidate_signature(
+            narrow.candidates
+        )
+
+    def test_plan_chunks_partitions_in_order(self):
+        chunks = plan_chunks("hk", [5, 9, 2, 7, 1], [("ts", (3.0,))],
+                             seeds_per_chunk=2)
+        assert [c.index for c in chunks] == [0, 1, 2]
+        assert [c.seed_nodes for c in chunks] == [(5, 9), (2, 7), (1,)]
+        assert all(c.dynamics == "hk" for c in chunks)
+
+    def test_unknown_dynamics_rejected(self, whiskered):
+        with pytest.raises(InvalidParameterError):
+            run_ncp_ensemble(whiskered, dynamics="quantum")
+
+
+class TestRunnerMemoization:
+    def test_second_run_serves_all_chunks_from_cache(self, whiskered,
+                                                     tmp_path):
+        kwargs = dict(
+            dynamics="hk", num_seeds=6, ts=(2.0, 8.0), epsilons=(1e-3,),
+            seed=1, seeds_per_chunk=2, cache_dir=tmp_path,
+        )
+        first = run_ncp_ensemble(whiskered, **kwargs)
+        assert first.cache_hits == 0
+        assert len(list(tmp_path.glob("*.npz"))) == first.num_chunks
+        second = run_ncp_ensemble(whiskered, **kwargs)
+        assert second.cache_hits == second.num_chunks == first.num_chunks
+        assert candidate_signature(second.candidates) == (
+            candidate_signature(first.candidates)
+        )
+
+    def test_different_grid_misses_cache(self, whiskered, tmp_path):
+        base = dict(dynamics="ppr", num_seeds=4, epsilons=(1e-3,), seed=0,
+                    cache_dir=tmp_path)
+        run_ncp_ensemble(whiskered, alphas=(0.1,), **base)
+        other = run_ncp_ensemble(whiskered, alphas=(0.2,), **base)
+        assert other.cache_hits == 0
+
+    def test_corrupt_cache_entry_is_recomputed(self, whiskered, tmp_path):
+        kwargs = dict(dynamics="ppr", num_seeds=3, alphas=(0.1,),
+                      epsilons=(1e-3,), seed=0, cache_dir=tmp_path)
+        first = run_ncp_ensemble(whiskered, **kwargs)
+        for entry in tmp_path.glob("*.npz"):
+            entry.write_bytes(b"not a zip file")
+        repaired = run_ncp_ensemble(whiskered, **kwargs)
+        assert repaired.cache_hits == 0
+        assert candidate_signature(repaired.candidates) == (
+            candidate_signature(first.candidates)
+        )
+        # The rewritten entries serve the next run.
+        third = run_ncp_ensemble(whiskered, **kwargs)
+        assert third.cache_hits == third.num_chunks
+
+    def test_different_graph_misses_cache(self, whiskered, ring, tmp_path):
+        kwargs = dict(dynamics="ppr", num_seeds=4, alphas=(0.1,),
+                      epsilons=(1e-3,), seed=0, cache_dir=tmp_path)
+        run_ncp_ensemble(whiskered, **kwargs)
+        other = run_ncp_ensemble(ring, **kwargs)
+        assert other.cache_hits == 0
+        assert graph_fingerprint(whiskered) != graph_fingerprint(ring)
+
+
+class TestMultiDynamicsEnsembles:
+    def test_hk_ensemble_batched_matches_scalar_path(self, whiskered):
+        kwargs = dict(
+            num_seeds=6, ts=(2.0, 8.0), epsilons=(1e-3, 1e-4), seed=0
+        )
+        scalar = hk_cluster_ensemble_ncp(
+            whiskered, engine="scalar", **kwargs
+        )
+        batched = hk_cluster_ensemble_ncp(
+            whiskered, engine="batched", **kwargs
+        )
+        assert len(batched) > 0
+        assert all(c.method == "hk" for c in batched)
+        # The batched stages are bitwise-parity with the scalar loop up to
+        # summation order, so the recorded candidates agree exactly up to
+        # eps-scale sweep perturbations; compare the bucketed profiles.
+        ps = best_per_size_bucket(scalar, num_buckets=6)
+        pb = best_per_size_bucket(batched, num_buckets=6)
+        finite = np.isfinite(ps.best_conductance)
+        assert np.array_equal(finite, np.isfinite(pb.best_conductance))
+        assert np.allclose(
+            ps.best_conductance[finite], pb.best_conductance[finite],
+            atol=0.05,
+        )
+
+    def test_hk_ensemble_rejects_unknown_engine(self, whiskered):
+        with pytest.raises(InvalidParameterError):
+            hk_cluster_ensemble_ncp(whiskered, engine="gpu")
+
+    def test_walk_ensemble_produces_walk_candidates(self, whiskered):
+        candidates = walk_cluster_ensemble_ncp(
+            whiskered, num_seeds=5, steps=(4, 16), epsilons=(1e-3,), seed=2
+        )
+        assert len(candidates) > 0
+        assert all(c.method == "walk" for c in candidates)
+        profile = best_per_size_bucket(candidates, num_buckets=5)
+        assert np.isfinite(profile.best_conductance).any()
+
+    def test_runner_defaults_match_generator_defaults(self, whiskered):
+        # epsilons=None resolves per dynamics, so a default runner run
+        # shards exactly the ensemble the direct generator produces.
+        direct = hk_cluster_ensemble_ncp(whiskered, num_seeds=3, seed=5)
+        run = run_ncp_ensemble(
+            whiskered, dynamics="hk", num_seeds=3, seed=5
+        )
+        assert candidate_signature(run.candidates) == candidate_signature(
+            direct
+        )
+
+    def test_runner_covers_all_dynamics(self, whiskered):
+        for dynamics in ("ppr", "hk", "walk"):
+            run = run_ncp_ensemble(
+                whiskered, dynamics=dynamics, num_seeds=4, seed=0
+            )
+            assert len(run.candidates) > 0, dynamics
+
+    def test_multidynamics_record(self, whiskered):
+        from repro.core import run_multidynamics_ncp
+
+        record, profiles = run_multidynamics_ncp(
+            whiskered, num_seeds=4, seed=0
+        )
+        assert record.shape_matches
+        assert set(profiles) == {"ppr", "hk", "walk"}
+        for name in profiles:
+            assert record.details[name]["num_candidates"] > 0
+
+    def test_multidynamics_record_reports_empty_ensembles(self):
+        # A graph too small for any sweep must yield a mismatch record,
+        # not a PartitionError out of the profile reduction.
+        from repro.core import run_multidynamics_ncp
+        from repro.graph.build import from_edges
+
+        tiny = from_edges(2, [(0, 1)], [1.0])
+        record, profiles = run_multidynamics_ncp(tiny, num_seeds=2, seed=0)
+        assert not record.shape_matches
+        assert all(profile is None for profile in profiles.values())
+        assert "no candidates" in record.observed
+
+    def test_walk_ensemble_rejects_negative_steps(self, whiskered):
+        with pytest.raises(InvalidParameterError):
+            walk_cluster_ensemble_ncp(
+                whiskered, num_seeds=2, steps=(-1, 16), epsilons=(1e-3,),
+                seed=0,
+            )
+
+
+class TestTopBucketRegression:
+    def test_size_max_size_candidate_lands_in_top_bucket(self):
+        # Regression: a candidate whose size equals the top bucket edge
+        # used to fall past the last bucket and vanish from the profile.
+        nodes = lambda k: np.arange(k, dtype=np.int64)
+        candidates = [
+            ClusterCandidate(nodes=nodes(4), conductance=0.5, method="flow"),
+            ClusterCandidate(nodes=nodes(64), conductance=0.125,
+                             method="flow"),
+        ]
+        profile = best_per_size_bucket(
+            candidates, num_buckets=6, min_size=2, max_size=64
+        )
+        assert profile.bucket_edges[-1] == 64
+        top = profile.representatives[-1]
+        assert top is not None and top.size == 64
+        assert profile.best_conductance[-1] == pytest.approx(0.125)
+
+    def test_oversized_candidates_still_excluded(self):
+        nodes = lambda k: np.arange(k, dtype=np.int64)
+        candidates = [
+            ClusterCandidate(nodes=nodes(4), conductance=0.5, method="flow"),
+            ClusterCandidate(nodes=nodes(100), conductance=0.01,
+                             method="flow"),
+        ]
+        profile = best_per_size_bucket(
+            candidates, num_buckets=4, min_size=2, max_size=64
+        )
+        assert all(
+            rep is None or rep.size <= 64 for rep in profile.representatives
+        )
+
+
+class TestDedupKeyRegression:
+    def test_summary_aliased_clusters_both_survive(self):
+        # Same size, same first/last node, same sum — the old
+        # (size, first, last, sum) key aliased these two distinct sets.
+        a = np.array([1, 4, 5, 8], dtype=np.int64)
+        b = np.array([1, 3, 6, 8], dtype=np.int64)
+        assert (a.size, a[0], a[-1], a.sum()) == (b.size, b[0], b[-1], b.sum())
+        unique = _unique_clusters([a, b, a.copy()])
+        assert len(unique) == 2
+
+    def test_exact_duplicates_still_dropped(self):
+        a = np.array([0, 2, 5], dtype=np.int64)
+        unique = _unique_clusters([a, a.copy(), a.copy()])
+        assert len(unique) == 1
+
+
+class TestMixingTimeRegression:
+    def test_non_converged_walk_raises(self, barbell):
+        # The barbell needs far more than 2 steps to mix; the old code
+        # returned max_steps as if it had converged.
+        with pytest.raises(ConvergenceError) as excinfo:
+            mixing_time(barbell, tolerance=0.05, max_steps=2)
+        assert excinfo.value.iterations == 2
+        assert excinfo.value.residual > 0.05
+
+    def test_converged_walk_still_returns_steps(self, planted):
+        steps = mixing_time(planted, tolerance=0.25)
+        assert 0 < steps < 100_000
+
+
+class TestMetricsGuards:
+    def test_exact_conductance_refuses_n_over_18(self):
+        with pytest.raises(PartitionError):
+            graph_conductance_exact(cycle_graph(19))
+
+    def test_exact_conductance_allows_n_18(self):
+        value, members = graph_conductance_exact(cycle_graph(18))
+        # Best cut of an even cycle is the half split: 2 / 18.
+        assert value == pytest.approx(2 / 18)
+        assert len(members) == 9
+
+    def test_internal_conductance_propagates_foreign_errors(self, ring,
+                                                            monkeypatch):
+        from repro.partition import metrics
+        from repro.partition import spectral
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(spectral, "spectral_cut", boom)
+        with pytest.raises(RuntimeError):
+            metrics.internal_conductance(ring, range(6))
+
+    def test_internal_conductance_falls_back_on_solver_failure(
+            self, ring, monkeypatch):
+        from repro.partition import metrics
+        from repro.partition import spectral
+
+        def fail(*args, **kwargs):
+            raise ConvergenceError("no Fiedler pair")
+
+        monkeypatch.setattr(spectral, "spectral_cut", fail)
+        value = metrics.internal_conductance(ring, range(6))
+        # K_6 minus nothing: the exact fallback computes the clique's
+        # optimum conductance, which is finite and positive.
+        assert 0 < value < float("inf")

@@ -341,3 +341,69 @@ class TestRegularizationInvariants:
         assert np.all(p >= 0)
         # Idempotent.
         assert np.allclose(simplex_projection(p), p, atol=1e-12)
+
+
+class TestMultiDynamicsInvariants:
+    """Invariants of the truncated walk and the batched heat-kernel
+    engine: rounding can only move mass into the dropped-mass ledger, and
+    the batched Taylor accumulation stays inside the scalar error
+    budget."""
+
+    @given(connected_graphs(), st.sampled_from([1e-2, 1e-3, 1e-4]),
+           st.floats(0.3, 0.7), st.integers(0, 12),
+           st.sampled_from(["vectorized", "scalar"]))
+    def test_truncated_walk_mass_conservation(self, graph, epsilon, alpha,
+                                              num_steps, implementation):
+        # Every unit of seed mass is either still in the charge vector or
+        # was explicitly dropped by rounding: final + dropped ≈ 1.
+        from repro.diffusion.seeds import indicator_seed
+        from repro.diffusion.truncated_walk import truncated_lazy_walk
+
+        s = indicator_seed(graph, [0])
+        result = truncated_lazy_walk(
+            graph, s, num_steps, epsilon=epsilon, alpha=alpha,
+            keep_trajectory=False, implementation=implementation,
+        )
+        assert result.final.sum() + result.dropped_mass == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert result.dropped_mass >= -1e-15
+        assert np.all(result.final >= 0)
+
+    @given(connected_graphs(), st.sampled_from([1e-2, 1e-3]),
+           st.floats(0.3, 0.7), st.integers(1, 10))
+    def test_truncated_walk_implementations_agree(self, graph, epsilon,
+                                                  alpha, num_steps):
+        from repro.diffusion.seeds import indicator_seed
+        from repro.diffusion.truncated_walk import truncated_lazy_walk
+
+        s = indicator_seed(graph, [0])
+        scalar = truncated_lazy_walk(
+            graph, s, num_steps, epsilon=epsilon, alpha=alpha,
+            implementation="scalar",
+        )
+        fast = truncated_lazy_walk(
+            graph, s, num_steps, epsilon=epsilon, alpha=alpha,
+            implementation="vectorized",
+        )
+        assert np.allclose(scalar.final, fast.final, atol=1e-12)
+        assert scalar.support_sizes == fast.support_sizes
+        assert scalar.dropped_mass == pytest.approx(
+            fast.dropped_mass, abs=1e-12
+        )
+
+    @given(connected_graphs(), st.floats(0.2, 6.0),
+           st.sampled_from([1e-2, 1e-3]))
+    def test_batch_hk_error_within_budget(self, graph, t, epsilon):
+        # Column ℓ1 error ≤ dropped rounding mass + Poisson tail — the
+        # scalar heat_kernel_push bound, inherited per batched column.
+        from repro.diffusion.engine import batch_hk_push
+        from repro.diffusion.heat_kernel import heat_kernel_vector
+        from repro.diffusion.seeds import indicator_seed
+
+        s = indicator_seed(graph, [0])
+        batch = batch_hk_push(graph, [s], ts=(t,), epsilons=(epsilon,))
+        exact = heat_kernel_vector(graph, s, t, kind="random_walk")
+        error = np.abs(batch.approximation[:, 0] - exact).sum()
+        budget = batch.dropped_mass[0] + batch.tail_bound[0]
+        assert error <= budget + 1e-7
