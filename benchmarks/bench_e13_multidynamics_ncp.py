@@ -15,6 +15,7 @@ import numpy as np
 
 from conftest import bench_workers
 
+from repro.api import HeatKernel, LazyWalk, PPR
 from repro.core import (
     format_comparison_verdict,
     format_table,
@@ -26,7 +27,12 @@ def test_e13_multidynamics_ncp(benchmark, atp_graph):
     record, profiles = benchmark.pedantic(
         run_multidynamics_ncp,
         args=(atp_graph,),
-        kwargs=dict(num_seeds=12, seed=11, num_workers=bench_workers()),
+        kwargs=dict(
+            dynamics=(PPR(), HeatKernel(), LazyWalk()),
+            num_seeds=12,
+            seed=11,
+            num_workers=bench_workers(),
+        ),
         rounds=1,
         iterations=1,
     )

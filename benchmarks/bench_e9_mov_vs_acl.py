@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import PPR, local_cluster
 from repro.core import format_comparison_verdict, format_table
 from repro.graph.generators import ring_of_cliques
 from repro.graph.random_generators import planted_partition_graph
-from repro.partition import acl_cluster, mov_cluster
+from repro.partition import mov_cluster
 
 
 def community_recovery():
@@ -32,8 +33,8 @@ def community_recovery():
         members = np.arange(block * 32, (block + 1) * 32)
         seeds = rng.choice(members, size=3, replace=False)
         cap = 1.6 * float(graph.degrees[members].sum())
-        acl = acl_cluster(graph, seeds, alpha=0.05, epsilon=1e-3,
-                          max_volume=cap)
+        acl = local_cluster(graph, seeds, PPR(alpha=0.05), epsilon=1e-3,
+                            max_volume=cap)
         mov = mov_cluster(graph, seeds, gamma_fraction=0.7, max_volume=cap)
         truth = set(members.tolist())
         acl_jaccard = len(set(acl.nodes.tolist()) & truth) / len(
@@ -52,8 +53,8 @@ def community_recovery():
 def pathology_case():
     graph = ring_of_cliques(6, 8)
     seeds = [0, 1, 24]
-    result = acl_cluster(graph, seeds, alpha=0.02, epsilon=1e-6,
-                         max_volume=70.0)
+    result = local_cluster(graph, seeds, PPR(alpha=0.02), epsilon=1e-6,
+                           max_volume=70.0)
     stranded = [s for s in seeds if s not in set(result.nodes.tolist())]
     return result, stranded
 

@@ -47,10 +47,14 @@ def bench_workers():
 
 def compute_figure1(graph):
     """The full Figure 1 comparison used by E1–E3."""
+    from repro.api import PPR, DiffusionGrid
     from repro.ncp import figure1_comparison
 
     return figure1_comparison(
-        graph, num_buckets=8, num_seeds=20, seed=11,
+        graph,
+        grid=DiffusionGrid(PPR(), num_seeds=20, seed=11),
+        num_buckets=8,
+        seed=11,
         num_workers=bench_workers(),
     )
 

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import PPR, DiffusionGrid, figure1_comparison
 from repro.core import format_table
 from repro.datasets import synthetic_atp_dblp
-from repro.ncp import figure1_comparison
 
 
 def main(scale="tiny"):
@@ -24,7 +24,10 @@ def main(scale="tiny"):
     graph = dataset.graph
     print(f"Workload: synthetic AtP-DBLP ({scale}), {graph!r}\n")
     result = figure1_comparison(
-        graph, num_buckets=8, num_seeds=25, seed=11
+        graph,
+        grid=DiffusionGrid(PPR(), num_seeds=25, seed=11),
+        num_buckets=8,
+        seed=11,
     )
     rows = []
     for bucket in result.buckets:

@@ -2,24 +2,21 @@
 
 From a single seed node in a whiskered expander, runs the three strongly
 local procedures the paper cites — ACL push [1], Spielman–Teng truncated
-walks [39], and heat-kernel push [15] — and shows that (i) each finds the
-low-conductance whisker, (ii) the work each performs is governed by the
-output size, not the graph size, and (iii) the Section 3.3 pathology ("a
-seed node not being part of its own cluster") actually occurs.
+walks [39], and heat-kernel push [15] — through the unified dynamics API
+(one ``local_cluster`` driver, one single-point spec per dynamics) and
+shows that (i) each finds the low-conductance whisker, (ii) the work each
+performs is governed by the output size, not the graph size, and (iii)
+the Section 3.3 pathology ("a seed node not being part of its own
+cluster") actually occurs.
 
 Run with ``python examples/local_clustering.py``.
 """
 
 from __future__ import annotations
 
+from repro.api import HeatKernel, LazyWalk, PPR, local_cluster
 from repro.core import format_table
 from repro.graph.random_generators import whiskered_expander
-from repro.partition import (
-    acl_cluster,
-    hk_cluster,
-    nibble_cluster,
-    seed_excluded_from_own_cluster,
-)
 
 
 def main():
@@ -28,16 +25,16 @@ def main():
     for core_size in (128, 512, 2048):
         graph = whiskered_expander(core_size, 4, 10, 8, seed=3)
         seed_node = core_size + 2  # inside the first whisker
-        for name, driver, kwargs in (
-            ("acl", acl_cluster, {"alpha": 0.1, "epsilon": 1e-4}),
-            ("nibble", nibble_cluster, {"epsilon": 1e-4, "num_steps": 40}),
-            ("hk", hk_cluster, {"t": 6.0, "epsilon": 1e-4}),
+        for spec, kwargs in (
+            (PPR(alpha=0.1), {"epsilon": 1e-4}),
+            (LazyWalk(steps=40), {"epsilon": 1e-4}),
+            (HeatKernel(t=6.0), {"epsilon": 1e-4}),
         ):
-            result = driver(graph, [seed_node], **kwargs)
+            result = local_cluster(graph, [seed_node], spec, **kwargs)
             rows.append(
                 [
                     graph.num_nodes,
-                    name,
+                    result.method,
                     result.nodes.size,
                     result.conductance,
                     result.support_size,
@@ -62,13 +59,14 @@ def main():
     # "its own cluster". With a seed set straddling two communities, the
     # best sweep cluster covers one community and strands the other seed.
     from repro.graph.generators import ring_of_cliques
-    from repro.partition import acl_cluster as _acl
 
     graph = ring_of_cliques(6, 8)
     # Two seeds in clique 0, one stray seed in clique 3: the best sweep
     # cluster is clique 0, stranding the stray seed.
     seeds = [0, 1, 3 * 8]
-    result = _acl(graph, seeds, alpha=0.02, epsilon=1e-6, max_volume=70.0)
+    result = local_cluster(
+        graph, seeds, PPR(alpha=0.02), epsilon=1e-6, max_volume=70.0
+    )
     stranded = [s for s in seeds if s not in set(result.nodes.tolist())]
     print("Seed-not-in-own-cluster (two seeds in different communities):")
     print(f"  seeds {seeds} -> cluster of size {result.nodes.size} with "

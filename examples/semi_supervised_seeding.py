@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import PPR, local_cluster
 from repro.core import format_table
 from repro.datasets import synthetic_atp_dblp
-from repro.partition import acl_cluster, mov_cluster
+from repro.partition import mov_cluster
 
 
 def f1_score(predicted, truth):
@@ -56,8 +57,8 @@ def main():
         seeds = rng.choice(members, size=4, replace=False)
         target_volume = 3.0 * float(graph.degrees[members].sum())
 
-        acl = acl_cluster(
-            graph, seeds, alpha=0.05, epsilon=1e-5,
+        acl = local_cluster(
+            graph, seeds, PPR(alpha=0.05), epsilon=1e-5,
             max_volume=target_volume,
         )
         mov = mov_cluster(

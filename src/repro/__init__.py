@@ -6,6 +6,12 @@ Data Analysis" (arXiv:1203.0786).
 
 Subpackages
 -----------
+``repro.api``
+    The one-stop typed facade: specs, grids, registry, ensembles, local
+    clustering, verification.
+``repro.dynamics``
+    The unified dynamics registry: ``PPR`` / ``HeatKernel`` / ``LazyWalk``
+    specs, ``DiffusionGrid``, ``DynamicsKind`` entries, alias table.
 ``repro.graph``
     CSR graph substrate, matrices, generators, I/O.
 ``repro.linalg``
@@ -29,20 +35,30 @@ Subpackages
 Quickstart
 ----------
 >>> from repro.datasets import load_graph
->>> from repro.core import verify_paper_theorem
+>>> from repro.api import verify_paper_theorem
 >>> graph = load_graph("planted")
 >>> reports = verify_paper_theorem(graph)   # Section 3.1, numerically
 >>> all(r.diffusion_vs_closed_form < 1e-8 for r in reports)
 True
 """
 
-from repro import core, datasets, diffusion, graph, linalg, ncp, partition
-from repro import regularization
+from repro import core, datasets, diffusion, dynamics, graph, linalg, ncp
+from repro import partition, regularization
+from repro import api
 from repro.core.framework import canonical_dynamics, verify_paper_theorem
 from repro.diffusion.engine import (
     BatchPushResult,
     batch_ppr_push,
     ppr_push_frontier,
+)
+from repro.dynamics import (
+    DiffusionGrid,
+    DynamicsKind,
+    HeatKernel,
+    LazyWalk,
+    PPR,
+    UnknownDynamicsError,
+    get_dynamics,
 )
 from repro.exceptions import (
     ConvergenceError,
@@ -57,33 +73,48 @@ from repro.exceptions import (
 )
 from repro.graph.build import from_edges
 from repro.graph.graph import Graph
+from repro.ncp.profile import cluster_ensemble_ncp
+from repro.ncp.runner import run_ncp_ensemble
+from repro.partition.local import local_cluster
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchPushResult",
     "ConvergenceError",
+    "DiffusionGrid",
     "DisconnectedGraphError",
+    "DynamicsKind",
     "EmptyGraphError",
     "ExperimentError",
     "FlowError",
     "Graph",
     "GraphError",
+    "HeatKernel",
     "InvalidParameterError",
+    "LazyWalk",
+    "PPR",
     "PartitionError",
     "ReproError",
+    "UnknownDynamicsError",
     "__version__",
+    "api",
     "batch_ppr_push",
     "canonical_dynamics",
+    "cluster_ensemble_ncp",
     "core",
     "datasets",
     "diffusion",
+    "dynamics",
     "from_edges",
+    "get_dynamics",
     "graph",
     "linalg",
+    "local_cluster",
     "ncp",
     "partition",
     "ppr_push_frontier",
     "regularization",
+    "run_ncp_ensemble",
     "verify_paper_theorem",
 ]

@@ -1,0 +1,88 @@
+"""``repro.api`` — the one-stop typed facade over the unified dynamics.
+
+Everything a downstream user needs to run the paper's three canonical
+diffusion dynamics — and any newly registered one — through one
+vocabulary:
+
+* **Specs & grids** — :class:`PPR`, :class:`HeatKernel`, :class:`LazyWalk`,
+  :class:`DiffusionGrid`; the registry (:func:`get_dynamics`,
+  :func:`canonical_dynamics`, :func:`register_dynamics`).
+* **NCP ensembles** — :func:`cluster_ensemble_ncp` (any grid, in-process),
+  :func:`run_ncp_ensemble` (sharded / pooled / memoized),
+  :func:`flow_cluster_ensemble_ncp`, :func:`best_per_size_bucket`,
+  :func:`figure1_comparison`, :func:`run_multidynamics_ncp`.
+* **Local clustering** — :func:`local_cluster` (single-point specs).
+* **Verification** — :func:`verify_paper_theorem` (Section 3.1,
+  numerically).
+
+Quickstart::
+
+    from repro.api import (DiffusionGrid, HeatKernel, PPR,
+                           cluster_ensemble_ncp, local_cluster)
+    from repro.datasets import load_graph
+
+    graph = load_graph("atp")
+    cluster = local_cluster(graph, [5], PPR(alpha=0.1), epsilon=1e-4)
+    candidates = cluster_ensemble_ncp(
+        graph, DiffusionGrid(HeatKernel(t=(3.0, 10.0)), num_seeds=20, seed=0)
+    )
+"""
+
+from __future__ import annotations
+
+from repro.core.experiments import run_multidynamics_ncp
+from repro.core.framework import verify_paper_theorem
+from repro.dynamics import (
+    ApproximateComputation,
+    DiffusionGrid,
+    DynamicsKind,
+    HeatKernel,
+    LazyWalk,
+    PPR,
+    UnknownDynamicsError,
+    as_diffusion_grid,
+    canonical_dynamics,
+    get_dynamics,
+    register_dynamics,
+    registered_dynamics,
+    unregister_dynamics,
+)
+from repro.ncp.compare import Figure1Result, figure1_comparison
+from repro.ncp.profile import (
+    ClusterCandidate,
+    NCPProfile,
+    best_per_size_bucket,
+    cluster_ensemble_ncp,
+    flow_cluster_ensemble_ncp,
+)
+from repro.ncp.runner import NCPRunResult, run_ncp_ensemble
+from repro.partition.local import LocalClusterResult, local_cluster
+
+__all__ = [
+    "ApproximateComputation",
+    "ClusterCandidate",
+    "DiffusionGrid",
+    "DynamicsKind",
+    "Figure1Result",
+    "HeatKernel",
+    "LazyWalk",
+    "LocalClusterResult",
+    "NCPProfile",
+    "NCPRunResult",
+    "PPR",
+    "UnknownDynamicsError",
+    "as_diffusion_grid",
+    "best_per_size_bucket",
+    "canonical_dynamics",
+    "cluster_ensemble_ncp",
+    "figure1_comparison",
+    "flow_cluster_ensemble_ncp",
+    "get_dynamics",
+    "local_cluster",
+    "register_dynamics",
+    "registered_dynamics",
+    "run_multidynamics_ncp",
+    "run_ncp_ensemble",
+    "unregister_dynamics",
+    "verify_paper_theorem",
+]

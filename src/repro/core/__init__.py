@@ -10,8 +10,11 @@ from repro.core.experiments import (
 )
 from repro.core.framework import (
     ApproximateComputation,
+    DynamicsKind,
+    UnknownDynamicsError,
     canonical_dynamics,
     get_dynamics,
+    registered_dynamics,
     verify_paper_theorem,
 )
 from repro.core.reporting import (
@@ -24,8 +27,10 @@ from repro.core.reporting import (
 
 __all__ = [
     "ApproximateComputation",
+    "DynamicsKind",
     "ExperimentRecord",
     "Stopwatch",
+    "UnknownDynamicsError",
     "canonical_dynamics",
     "format_comparison_verdict",
     "format_series",
@@ -34,6 +39,7 @@ __all__ = [
     "geometric_midpoints",
     "get_dynamics",
     "records_table",
+    "registered_dynamics",
     "run_multidynamics_ncp",
     "verify_paper_theorem",
     "write_record",

@@ -120,25 +120,51 @@ def run_multidynamics_ncp(
 
     The shared driver behind the multi-dynamics benchmarks: every
     requested dynamics (ACL push, heat-kernel push, truncated lazy walk —
-    the three canonical procedures of Section 3.1/3.3) is swept over its
-    parameter grid via :func:`repro.ncp.runner.run_ncp_ensemble`, reduced
-    to a size-bucketed profile, and summarized in one
-    :class:`ExperimentRecord`.
+    the three canonical procedures of Section 3.1/3.3, or any newly
+    registered dynamics) is swept over its parameter grid via
+    :func:`repro.ncp.runner.run_ncp_ensemble`, reduced to a size-bucketed
+    profile, and summarized in one :class:`ExperimentRecord`.
 
-    Returns ``(record, profiles)`` where ``profiles`` maps dynamics name
-    to its :class:`~repro.ncp.profile.NCPProfile`.
+    ``dynamics`` entries may be registry names/aliases, spec instances
+    (``PPR(...)``, ``HeatKernel(...)``, ``LazyWalk(...)``), or full
+    :class:`~repro.dynamics.DiffusionGrid` workloads; names resolve to
+    the dynamics' default grid with this function's ``num_seeds``/``seed``.
+
+    Returns ``(record, profiles)`` where ``profiles`` maps each dynamics'
+    canonical name to its :class:`~repro.ncp.profile.NCPProfile`.
     """
-    from repro.exceptions import PartitionError
+    from repro.dynamics import DiffusionGrid, as_diffusion_grid, get_dynamics
+    from repro.exceptions import InvalidParameterError, PartitionError
     from repro.ncp.profile import best_per_size_bucket
     from repro.ncp.runner import run_ncp_ensemble
+
+    grids = {}
+    for entry in dynamics:
+        if isinstance(entry, DiffusionGrid):
+            grid = entry
+        else:
+            spec = (
+                get_dynamics(entry).default_spec()
+                if not hasattr(entry, "iter_columns")
+                else entry
+            )
+            grid = DiffusionGrid(spec, num_seeds=num_seeds, seed=seed)
+        key = as_diffusion_grid(grid).key
+        if key in grids:
+            # Results are keyed by canonical name; a silent overwrite
+            # would drop a requested workload.
+            raise InvalidParameterError(
+                f"run_multidynamics_ncp received two workloads for "
+                f"dynamics {key!r}; run them as separate calls"
+            )
+        grids[key] = grid
 
     profiles = {}
     details = {}
     with Stopwatch() as watch:
-        for name in dynamics:
+        for name, grid in grids.items():
             run = run_ncp_ensemble(
-                graph, dynamics=name, num_seeds=num_seeds, seed=seed,
-                num_workers=num_workers, cache_dir=cache_dir,
+                graph, grid, num_workers=num_workers, cache_dir=cache_dir,
             )
             try:
                 profile = best_per_size_bucket(

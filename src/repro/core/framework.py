@@ -10,109 +10,39 @@ downstream user who wants the paper's message as an API calls::
         report = dynamics.verify(graph)
         print(dynamics.describe(), report.diffusion_vs_closed_form)
 
-Each :class:`ApproximateComputation` knows (1) how to run the approximation
-on a graph, (2) the regularized objective it exactly optimizes, and (3) how
-to verify the equivalence numerically.
+Each registered dynamics knows (1) how to run the approximation on a
+graph, (2) the regularized objective it exactly optimizes, and (3) how to
+verify the equivalence numerically.
+
+Since the unified-registry redesign this module is a façade over
+:mod:`repro.dynamics`: :func:`canonical_dynamics` returns the *same*
+:class:`~repro.dynamics.DynamicsKind` objects the NCP runner and the
+local-cluster drivers dispatch on, and :func:`get_dynamics` accepts every
+registered spelling — the historical framework keys (``"heat_kernel"``,
+``"pagerank"``, ``"lazy_walk"``) and the runner's short names (``"hk"``,
+``"ppr"``, ``"walk"``) resolve to identical objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
-from repro.regularization.equivalence import (
-    verify_heat_kernel,
-    verify_lazy_walk,
-    verify_pagerank,
+from repro.dynamics import (
+    ApproximateComputation,
+    DynamicsKind,
+    UnknownDynamicsError,
+    canonical_dynamics,
+    get_dynamics,
+    registered_dynamics,
 )
 
-
-@dataclass(frozen=True)
-class ApproximateComputation:
-    """An approximation algorithm paired with its implicit regularizer.
-
-    Attributes
-    ----------
-    name:
-        Algorithm name.
-    aggressiveness_parameter:
-        The knob controlling how far the dynamics runs (Section 3.1).
-    regularizer:
-        The G(X) of Problem (5) that the algorithm implicitly applies.
-    default_parameters:
-        Parameters used by :meth:`verify` when none are given.
-    verifier:
-        Callable ``verifier(graph, **params) -> EquivalenceReport``.
-    """
-
-    name: str
-    aggressiveness_parameter: str
-    regularizer: str
-    default_parameters: dict
-    verifier: Callable
-
-    def verify(self, graph, **params):
-        """Numerically verify the implicit-regularization identity.
-
-        Runs the dynamics and the regularized SDP on ``graph`` and returns
-        the :class:`~repro.regularization.equivalence.EquivalenceReport`.
-        """
-        merged = dict(self.default_parameters)
-        merged.update(params)
-        return self.verifier(graph, **merged)
-
-    def describe(self):
-        """One-line description of the algorithm ↔ regularizer pairing."""
-        return (
-            f"{self.name} (aggressiveness: {self.aggressiveness_parameter}) "
-            f"exactly solves Problem (5) with G = {self.regularizer}"
-        )
-
-
-_HEAT = ApproximateComputation(
-    name="Heat Kernel",
-    aggressiveness_parameter="time t",
-    regularizer="generalized (von Neumann) entropy Tr(X log X)",
-    default_parameters={"t": 2.0},
-    verifier=verify_heat_kernel,
-)
-
-_PAGERANK = ApproximateComputation(
-    name="PageRank",
-    aggressiveness_parameter="teleport probability gamma",
-    regularizer="log-determinant -log det(X)",
-    default_parameters={"gamma": 0.2},
-    verifier=verify_pagerank,
-)
-
-_LAZY = ApproximateComputation(
-    name="Lazy Random Walk",
-    aggressiveness_parameter="number of steps k",
-    regularizer="matrix p-norm (1/p) Tr(X^p), p = 1 + 1/k",
-    default_parameters={"alpha": 0.6, "num_steps": 5},
-    verifier=verify_lazy_walk,
-)
-
-_REGISTRY = {
-    "heat_kernel": _HEAT,
-    "pagerank": _PAGERANK,
-    "lazy_walk": _LAZY,
-}
-
-
-def canonical_dynamics():
-    """The paper's three canonical dynamics (Section 3.1), in order."""
-    return [_HEAT, _PAGERANK, _LAZY]
-
-
-def get_dynamics(name):
-    """Look up a dynamics by key: heat_kernel, pagerank, or lazy_walk."""
-    if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown dynamics {name!r}; choose from {sorted(_REGISTRY)}"
-        )
-    return _REGISTRY[name]
-
+__all__ = [
+    "ApproximateComputation",
+    "DynamicsKind",
+    "UnknownDynamicsError",
+    "canonical_dynamics",
+    "get_dynamics",
+    "registered_dynamics",
+    "verify_paper_theorem",
+]
 
 def verify_paper_theorem(graph, *, atol=1e-8):
     """Verify the Section 3.1 theorem for all three dynamics on ``graph``.

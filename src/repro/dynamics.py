@@ -1,0 +1,727 @@
+"""The unified dynamics registry: one typed API over PPR / heat kernel / walk.
+
+The paper's central claim is that the three canonical diffusion dynamics —
+PageRank, the heat kernel, and the truncated lazy random walk — are
+instances of *one* implicitly-regularized computation.  This module makes
+that claim structural: every dynamics is described once, by a frozen *spec*
+dataclass plus a :class:`DynamicsKind` registry entry, and every consumer
+(the NCP ensemble generators, the sharded runner, the local-cluster
+drivers, the equivalence-verification harness, the benchmarks) dispatches
+through the registry instead of switching on strings.
+
+Three layers:
+
+* **Specs** — :class:`PPR`, :class:`HeatKernel`, :class:`LazyWalk`: frozen
+  dataclasses holding the aggressiveness axis of one dynamics
+  (``alpha`` / ``t`` / ``steps`` + ``walk_alpha``).  Each spec knows its
+  grid axes, its default truncation thresholds, its scalar oracle, its
+  batched engine entry point, and how to drive a local cluster from a
+  seed.  A spec with a single-point axis doubles as a point parameter for
+  the seed → cluster drivers.
+* **Grids** — :class:`DiffusionGrid`: a spec × epsilons × seed-sampling
+  plan, replacing the ``alphas=... ts=... steps=... walk_alpha=...`` kwarg
+  soup that the runner used to carry for all dynamics at once.
+* **The registry** — :class:`DynamicsKind` entries merge the NCP-side
+  dispatch (previously the runner's private ``_DYNAMICS`` tuple) with the
+  implicit-regularization framework (previously
+  ``repro.core.framework._REGISTRY``) under canonical names plus an alias
+  table, so ``get_dynamics("ppr")``, ``get_dynamics("pagerank")`` and
+  ``get_dynamics(PPR())`` all return the *same* registry object the
+  runner dispatches on.
+
+New dynamics plug in by registering a spec type and a
+:class:`DynamicsKind` — no changes to the runner, the profile layer, or
+the benchmarks are needed (see ``tests/test_dynamics_registry.py`` for a
+worked example).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro._validation import check_int, check_positive, check_probability
+from repro.diffusion.engine import batch_hk_push, batch_ppr_push
+from repro.diffusion.hk_push import heat_kernel_push
+from repro.diffusion.push import approximate_ppr_push
+from repro.diffusion.seeds import degree_weighted_indicator_seed
+from repro.diffusion.truncated_walk import truncated_lazy_walk
+from repro.exceptions import InvalidParameterError
+from repro.regularization.equivalence import (
+    verify_heat_kernel,
+    verify_lazy_walk,
+    verify_pagerank,
+)
+
+__all__ = [
+    "ApproximateComputation",
+    "DiffusionGrid",
+    "DynamicsKind",
+    "HeatKernel",
+    "LazyWalk",
+    "PPR",
+    "UnknownDynamicsError",
+    "as_diffusion_grid",
+    "canonical_dynamics",
+    "get_dynamics",
+    "register_dynamics",
+    "registered_dynamics",
+    "resolve_dynamics_name",
+    "unregister_dynamics",
+]
+
+_ENGINES = ("batched", "scalar")
+
+# Version in which the deprecated pre-registry entry points are scheduled
+# for removal (announced in every shim warning and in the README).
+DEPRECATION_REMOVAL_VERSION = "2.0"
+
+# Cap on the number of dense (node, column) entries per engine batch; seed
+# chunks are sized so the batched residual/approximation matrices stay
+# within a few dozen megabytes regardless of the seed count.
+_BATCH_ENTRY_BUDGET = 2_000_000
+
+
+class UnknownDynamicsError(InvalidParameterError, KeyError):
+    """Raised for a dynamics name or spec that is not in the registry.
+
+    Inherits both :class:`~repro.exceptions.InvalidParameterError` (hence
+    ``ValueError``) and ``KeyError``: historically the NCP runner raised
+    the former and ``core.framework.get_dynamics`` the latter, and callers
+    of either style keep working.
+    """
+
+    __str__ = Exception.__str__
+
+
+def warn_deprecated(old, replacement):
+    """Emit the shared shim warning (``repro API deprecation: ...``).
+
+    The message prefix is load-bearing: the test suite promotes exactly
+    these warnings to errors (see ``pytest.ini``), so no internal code can
+    silently depend on a deprecated entry point.
+    """
+    warnings.warn(
+        f"repro API deprecation: {old} is deprecated and scheduled for "
+        f"removal in repro {DEPRECATION_REMOVAL_VERSION}; use "
+        f"{replacement} instead.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _axis(value, name, check):
+    """Normalize a scalar-or-sequence axis value to a validated tuple."""
+    if np.ndim(value) == 0:
+        value = (value,)
+    values = tuple(check(v, name) for v in value)
+    if not values:
+        raise InvalidParameterError(f"{name} axis must be nonempty")
+    return values
+
+
+def _check_engine(engine):
+    if engine not in _ENGINES:
+        raise InvalidParameterError(
+            f"engine must be one of {_ENGINES}; got {engine!r}"
+        )
+    return engine
+
+
+def _seed_chunks(seed_nodes, n, grid_size):
+    """Chunk seed nodes so each dense engine batch stays within budget."""
+    chunk = max(1, _BATCH_ENTRY_BUDGET // max(n * max(grid_size, 1), 1))
+    for start in range(0, len(seed_nodes), chunk):
+        yield seed_nodes[start:start + chunk]
+
+
+def _seed_vector(graph, seed_node):
+    return degree_weighted_indicator_seed(graph, [int(seed_node)])
+
+
+class _SpecBase:
+    """Shared behavior of the dynamics spec dataclasses.
+
+    Subclasses define the class attributes ``name`` (canonical registry
+    key), ``candidate_label`` (``ClusterCandidate.method`` value),
+    ``local_method`` (``LocalClusterResult.method`` value) and
+    ``default_epsilons``, plus ``grid_params`` / ``from_grid_params`` /
+    ``iter_columns`` / ``local_sweep_vectors``.
+    """
+
+    def grid_axes(self):
+        """Ordered mapping of swept axis name -> tuple of values."""
+        return dict(self.grid_params())
+
+    def grid_size(self, epsilons):
+        """Number of diffusion columns per seed node."""
+        size = len(tuple(epsilons))
+        for values in self.grid_axes().values():
+            if np.ndim(values) > 0:
+                size *= len(values)
+        return size
+
+    def _point(self, name):
+        """The single value of axis ``name`` (local drivers need a point)."""
+        values = getattr(self, name)
+        if np.ndim(values) == 0:
+            return values
+        if len(values) != 1:
+            raise InvalidParameterError(
+                f"{type(self).__name__}.{name} must be a single point for "
+                f"local clustering; got the grid {values!r}"
+            )
+        return values[0]
+
+    def local_cluster(self, graph, seed_nodes, **kwargs):
+        """Run the generic seed -> cluster driver with this spec."""
+        from repro.partition.local import local_cluster
+
+        return local_cluster(graph, seed_nodes, self, **kwargs)
+
+
+@dataclass(frozen=True)
+class PPR(_SpecBase):
+    """Personalized PageRank / ACL push dynamics (the "LocalSpectral" side).
+
+    Parameters
+    ----------
+    alpha:
+        Teleport probability axis — a scalar or a tuple.  Larger alpha
+        keeps mass closer to the seed (stronger implicit regularization).
+    """
+
+    alpha: tuple = (0.01, 0.05, 0.15)
+
+    name: ClassVar[str] = "ppr"
+    candidate_label: ClassVar[str] = "spectral"
+    local_method: ClassVar[str] = "acl"
+    default_epsilons: ClassVar[tuple] = (1e-4, 1e-5)
+    scalar_oracle: ClassVar[Callable] = staticmethod(approximate_ppr_push)
+    batch_engine: ClassVar[Callable] = staticmethod(batch_ppr_push)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "alpha", _axis(self.alpha, "alpha", check_probability)
+        )
+
+    def grid_params(self):
+        return (("alphas", self.alpha),)
+
+    @classmethod
+    def from_grid_params(cls, params):
+        return cls(alpha=params["alphas"])
+
+    def iter_columns(self, graph, seed_nodes, *, epsilons, engine="batched"):
+        """Yield one diffusion vector per (seed, alpha, epsilon) grid point.
+
+        Columns enumerate seed (slowest) x alpha x epsilon (fastest) —
+        the same order for both engines, so candidate ensembles line up
+        column-for-column.
+        """
+        _check_engine(engine)
+        epsilons = tuple(epsilons)
+        if engine == "scalar":
+            for seed_node in seed_nodes:
+                vector = _seed_vector(graph, seed_node)
+                for alpha in self.alpha:
+                    for epsilon in epsilons:
+                        push = approximate_ppr_push(
+                            graph, vector, alpha=alpha, epsilon=epsilon
+                        )
+                        yield push.approximation
+            return
+        grid = self.grid_size(epsilons)
+        for block in _seed_chunks(list(seed_nodes), graph.num_nodes, grid):
+            vectors = [_seed_vector(graph, s) for s in block]
+            batch = batch_ppr_push(
+                graph, vectors, alphas=self.alpha, epsilons=epsilons
+            )
+            for b in range(batch.num_columns):
+                yield batch.approximation[:, b]
+
+    def local_sweep_vectors(self, graph, seed_vector, *, epsilon):
+        """Yield (scores, edge-work) pairs to sweep for a local cluster."""
+        push = approximate_ppr_push(
+            graph, seed_vector, alpha=self._point("alpha"), epsilon=epsilon
+        )
+        yield push.approximation, push.work
+
+
+@dataclass(frozen=True)
+class HeatKernel(_SpecBase):
+    """Heat-kernel push dynamics [15].
+
+    Parameters
+    ----------
+    t:
+        Diffusion-time axis — a scalar or a tuple.  Larger t runs the
+        dynamics further (weaker implicit regularization).
+    """
+
+    t: tuple = (3.0, 10.0, 30.0)
+
+    name: ClassVar[str] = "hk"
+    candidate_label: ClassVar[str] = "hk"
+    local_method: ClassVar[str] = "hk"
+    default_epsilons: ClassVar[tuple] = (1e-3, 1e-4)
+    scalar_oracle: ClassVar[Callable] = staticmethod(heat_kernel_push)
+    batch_engine: ClassVar[Callable] = staticmethod(batch_hk_push)
+
+    def __post_init__(self):
+        object.__setattr__(self, "t", _axis(self.t, "t", check_positive))
+
+    def grid_params(self):
+        return (("ts", self.t),)
+
+    @classmethod
+    def from_grid_params(cls, params):
+        return cls(t=params["ts"])
+
+    def iter_columns(self, graph, seed_nodes, *, epsilons, engine="batched"):
+        """Yield one diffusion vector per (seed, t, epsilon) grid point."""
+        _check_engine(engine)
+        epsilons = tuple(epsilons)
+        if engine == "scalar":
+            for seed_node in seed_nodes:
+                vector = _seed_vector(graph, seed_node)
+                for t in self.t:
+                    for epsilon in epsilons:
+                        push = heat_kernel_push(
+                            graph, vector, t, epsilon=epsilon
+                        )
+                        yield push.approximation
+            return
+        grid = self.grid_size(epsilons)
+        for block in _seed_chunks(list(seed_nodes), graph.num_nodes, grid):
+            vectors = [_seed_vector(graph, s) for s in block]
+            batch = batch_hk_push(
+                graph, vectors, ts=self.t, epsilons=epsilons
+            )
+            for b in range(batch.num_columns):
+                yield batch.approximation[:, b]
+
+    def local_sweep_vectors(self, graph, seed_vector, *, epsilon):
+        result = heat_kernel_push(
+            graph, seed_vector, self._point("t"), epsilon=epsilon
+        )
+        yield result.approximation, result.work
+
+
+@dataclass(frozen=True)
+class LazyWalk(_SpecBase):
+    """Spielman–Teng truncated lazy random walk dynamics [39].
+
+    Parameters
+    ----------
+    steps:
+        Step-count axis — a scalar or a tuple.  Walk trajectories are
+        prefix-closed, so the NCP grid runs one walk to ``max(steps)``
+        per (seed, epsilon) and sweeps the charge at every requested
+        step count.
+    walk_alpha:
+        Holding probability of the lazy walk (a fixed parameter, not a
+        swept axis).
+    """
+
+    steps: tuple = (4, 16, 64)
+    walk_alpha: float = 0.5
+
+    name: ClassVar[str] = "walk"
+    candidate_label: ClassVar[str] = "walk"
+    local_method: ClassVar[str] = "nibble"
+    default_epsilons: ClassVar[tuple] = (1e-3, 1e-4)
+    scalar_oracle: ClassVar[Callable] = staticmethod(truncated_lazy_walk)
+    batch_engine: ClassVar[Callable] = staticmethod(truncated_lazy_walk)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "steps",
+            _axis(
+                self.steps,
+                "steps",
+                lambda v, name: check_int(v, name, minimum=0),
+            ),
+        )
+        object.__setattr__(
+            self, "walk_alpha", check_probability(self.walk_alpha, "walk_alpha")
+        )
+
+    def grid_params(self):
+        return (("steps", self.steps), ("walk_alpha", self.walk_alpha))
+
+    def grid_axes(self):
+        return {"steps": self.steps}
+
+    @classmethod
+    def from_grid_params(cls, params):
+        return cls(steps=params["steps"], walk_alpha=params["walk_alpha"])
+
+    def grid_size(self, epsilons):
+        return len(self.steps) * len(tuple(epsilons))
+
+    def iter_columns(self, graph, seed_nodes, *, epsilons, engine="batched"):
+        """Yield one charge vector per (seed, epsilon, step) grid point.
+
+        The walk is run once to the largest requested step count per
+        (seed, epsilon); the prefix trajectory supplies every smaller
+        step count for free, in sorted-unique order.
+        """
+        _check_engine(engine)
+        implementation = "vectorized" if engine == "batched" else "scalar"
+        wanted = sorted(set(self.steps))
+        horizon = wanted[-1]
+        for seed_node in seed_nodes:
+            vector = _seed_vector(graph, seed_node)
+            for epsilon in tuple(epsilons):
+                walk = truncated_lazy_walk(
+                    graph, vector, horizon, epsilon=epsilon,
+                    alpha=self.walk_alpha, keep_trajectory=True,
+                    implementation=implementation,
+                )
+                for k in wanted:
+                    yield walk.trajectory[k]
+
+    def local_sweep_vectors(self, graph, seed_vector, *, epsilon):
+        """Sweep the charge after every step, as Nibble does."""
+        num_steps = check_int(self._point("steps"), "steps", minimum=1)
+        walk = truncated_lazy_walk(
+            graph, seed_vector, num_steps, epsilon=epsilon,
+            alpha=self.walk_alpha, keep_trajectory=True,
+        )
+        work = int(sum(walk.support_volumes))
+        for charge in walk.trajectory[1:]:
+            yield charge, work
+
+
+@dataclass(frozen=True)
+class ApproximateComputation:
+    """An approximation algorithm paired with its implicit regularizer.
+
+    Attributes
+    ----------
+    name:
+        Algorithm display name.
+    aggressiveness_parameter:
+        The knob controlling how far the dynamics runs (Section 3.1).
+    regularizer:
+        The G(X) of Problem (5) that the algorithm implicitly applies.
+    default_parameters:
+        Parameters used by :meth:`verify` when none are given.
+    verifier:
+        Callable ``verifier(graph, **params) -> EquivalenceReport``.
+    """
+
+    name: str
+    aggressiveness_parameter: str
+    regularizer: str
+    default_parameters: dict
+    verifier: Callable
+
+    def verify(self, graph, **params):
+        """Numerically verify the implicit-regularization identity.
+
+        Runs the dynamics and the regularized SDP on ``graph`` and returns
+        the :class:`~repro.regularization.equivalence.EquivalenceReport`.
+        """
+        merged = dict(self.default_parameters)
+        merged.update(params)
+        return self.verifier(graph, **merged)
+
+    def describe(self):
+        """One-line description of the algorithm ↔ regularizer pairing."""
+        return (
+            f"{self.name} (aggressiveness: {self.aggressiveness_parameter}) "
+            f"exactly solves Problem (5) with G = {self.regularizer}"
+        )
+
+
+@dataclass(frozen=True)
+class DynamicsKind(ApproximateComputation):
+    """One registered dynamics: verification identity + NCP dispatch.
+
+    Extends :class:`ApproximateComputation` (the Section 3.1 entry that
+    ``core.framework`` has always exposed) with the operational side —
+    the spec type the runner and the local drivers dispatch on.
+
+    Attributes
+    ----------
+    key:
+        Canonical registry name (``"ppr"``, ``"hk"``, ``"walk"``).
+    aliases:
+        Accepted alternative spellings (``"pagerank"``, ``"heat_kernel"``,
+        ``"lazy_walk"``, ``"acl"``, ``"nibble"``, ...).
+    spec_type:
+        The frozen spec dataclass (:class:`PPR` & co).
+    local_spec_factory:
+        ``factory(graph) -> spec`` producing the default single-point spec
+        for the seed -> cluster drivers (the walk's default step count
+        depends on the graph size).
+    legacy_axes:
+        Maps the pre-registry kwarg soup (``alphas``/``ts``/``steps``/
+        ``walk_alpha``) onto a spec; only the deprecation shims call it.
+    """
+
+    key: str = ""
+    aliases: tuple = ()
+    spec_type: type = None
+    local_spec_factory: Callable = None
+    legacy_axes: Callable = field(default=None, repr=False)
+
+    def default_spec(self):
+        """The spec with this dynamics' default NCP grid axes."""
+        return self.spec_type()
+
+    def default_grid(self, **overrides):
+        """A :class:`DiffusionGrid` over the default spec."""
+        return DiffusionGrid(self.default_spec(), **overrides)
+
+    def local_spec(self, graph=None):
+        """The default single-point spec for local clustering."""
+        return self.local_spec_factory(graph)
+
+    def spec_from_legacy(self, *, alphas=None, ts=None, steps=None,
+                         walk_alpha=None):
+        """Build a spec from the deprecated per-dynamics kwarg soup."""
+        return self.legacy_axes(
+            alphas=alphas, ts=ts, steps=steps, walk_alpha=walk_alpha
+        )
+
+
+@dataclass(frozen=True)
+class DiffusionGrid:
+    """A full NCP diffusion workload: dynamics x epsilons x seed sampling.
+
+    Attributes
+    ----------
+    dynamics:
+        A registered spec instance (accepts a canonical name / alias or a
+        :class:`DynamicsKind`, normalized to the default spec).
+    epsilons:
+        Truncation-threshold axis; ``None`` resolves to the spec's
+        ``default_epsilons``.
+    num_seeds:
+        Seed nodes sampled by degree (the stationary measure, as in [27]).
+    seed:
+        RNG seed (or generator) for seed-node sampling.
+    max_cluster_size:
+        Sweep-prefix size cap; ``None`` resolves to ``n // 2`` at run time.
+    engine:
+        ``"batched"`` (vectorized engines) or ``"scalar"`` (the parity
+        oracles).
+    """
+
+    dynamics: object
+    epsilons: tuple = None
+    num_seeds: int = 40
+    seed: object = None
+    max_cluster_size: int = None
+    engine: str = "batched"
+
+    def __post_init__(self):
+        spec = self.dynamics
+        if isinstance(spec, (str, DynamicsKind)) or isinstance(spec, type):
+            spec = get_dynamics(spec).default_spec()
+        else:
+            get_dynamics(spec)  # raises UnknownDynamicsError if unregistered
+        object.__setattr__(self, "dynamics", spec)
+        if self.epsilons is not None:
+            object.__setattr__(
+                self,
+                "epsilons",
+                _axis(self.epsilons, "epsilons", check_probability),
+            )
+        check_int(self.num_seeds, "num_seeds", minimum=1)
+        if self.max_cluster_size is not None:
+            check_int(self.max_cluster_size, "max_cluster_size", minimum=1)
+        _check_engine(self.engine)
+
+    @property
+    def key(self):
+        """Canonical name of the grid's dynamics."""
+        return get_dynamics(self.dynamics).key
+
+    def resolved_epsilons(self):
+        return (
+            self.epsilons
+            if self.epsilons is not None
+            else tuple(self.dynamics.default_epsilons)
+        )
+
+    def resolve_max_cluster_size(self, graph):
+        return (
+            self.max_cluster_size
+            if self.max_cluster_size is not None
+            else graph.num_nodes // 2
+        )
+
+    def grid_params(self):
+        """Hashable (name, value) pairs pinning the whole non-seed grid."""
+        return self.dynamics.grid_params() + (
+            ("epsilons", self.resolved_epsilons()),
+        )
+
+
+def as_diffusion_grid(grid):
+    """Coerce a grid-like value (grid, spec, kind, or name) to a grid."""
+    if isinstance(grid, DiffusionGrid):
+        return grid
+    return DiffusionGrid(grid)
+
+
+# --------------------------------------------------------------------------
+# The registry.
+
+_REGISTRY = {}      # canonical key -> DynamicsKind
+_ALIASES = {}       # normalized spelling -> canonical key
+_SPEC_TYPES = {}    # spec type -> canonical key
+
+
+def _normalize(name):
+    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+
+
+def register_dynamics(kind, *, overwrite=False):
+    """Register a :class:`DynamicsKind` under its key, aliases, and names.
+
+    Returns the kind, so definitions can be written as
+    ``KIND = register_dynamics(DynamicsKind(...))``.  Registering an
+    already-taken spelling raises unless ``overwrite`` is set.
+    """
+    if not isinstance(kind, DynamicsKind):
+        raise InvalidParameterError(
+            f"register_dynamics expects a DynamicsKind; got {kind!r}"
+        )
+    if not kind.key or kind.spec_type is None:
+        raise InvalidParameterError(
+            "a DynamicsKind needs both a canonical key and a spec_type"
+        )
+    spellings = {_normalize(kind.key), _normalize(kind.name)}
+    spellings.update(_normalize(alias) for alias in kind.aliases)
+    if not overwrite:
+        if kind.key in _REGISTRY:
+            raise InvalidParameterError(
+                f"dynamics key {kind.key!r} is already registered; pass "
+                f"overwrite=True to replace it"
+            )
+        taken = sorted(s for s in spellings if s in _ALIASES)
+        if taken:
+            raise InvalidParameterError(
+                f"dynamics spellings already registered: {taken}"
+            )
+    for spelling in spellings:
+        _ALIASES[spelling] = kind.key
+    _REGISTRY[kind.key] = kind
+    _SPEC_TYPES[kind.spec_type] = kind.key
+    return kind
+
+
+def unregister_dynamics(key):
+    """Remove a registered dynamics (used by extension tests)."""
+    key = resolve_dynamics_name(key)
+    kind = _REGISTRY.pop(key)
+    for spelling in [s for s, k in _ALIASES.items() if k == key]:
+        del _ALIASES[spelling]
+    _SPEC_TYPES.pop(kind.spec_type, None)
+    return kind
+
+
+def resolve_dynamics_name(dynamics):
+    """Canonical key for a name, alias, spec instance, spec type, or kind."""
+    if isinstance(dynamics, DynamicsKind):
+        candidate = dynamics.key
+    elif isinstance(dynamics, type):
+        candidate = _SPEC_TYPES.get(dynamics)
+    elif isinstance(dynamics, str):
+        candidate = _ALIASES.get(_normalize(dynamics))
+    else:
+        # Exact spec-type match only: a subclass is its own dynamics and
+        # must be registered itself (see TestExtensionPoint).
+        candidate = _SPEC_TYPES.get(type(dynamics))
+    if candidate is None or candidate not in _REGISTRY:
+        raise UnknownDynamicsError(
+            f"unknown dynamics {dynamics!r}; choose from "
+            f"{sorted(_REGISTRY)} (aliases: {sorted(_ALIASES)})"
+        )
+    return candidate
+
+
+def get_dynamics(dynamics):
+    """Look up the registry entry for a name, alias, spec, or kind.
+
+    ``get_dynamics("ppr")``, ``get_dynamics("pagerank")``,
+    ``get_dynamics(PPR)`` and ``get_dynamics(PPR(alpha=0.1))`` all return
+    the same :class:`DynamicsKind` object — the one every consumer
+    dispatches on.
+    """
+    return _REGISTRY[resolve_dynamics_name(dynamics)]
+
+
+def registered_dynamics():
+    """Snapshot of the registry: canonical key -> :class:`DynamicsKind`."""
+    return dict(_REGISTRY)
+
+
+def canonical_dynamics():
+    """The paper's three canonical dynamics (Section 3.1), in paper order."""
+    return [_REGISTRY["hk"], _REGISTRY["ppr"], _REGISTRY["walk"]]
+
+
+def _default_nibble_steps(graph):
+    """Nibble's default step count: max(10, ceil(log2(n+1)^2))."""
+    if graph is None:
+        return 10
+    return max(10, int(np.ceil(np.log2(graph.num_nodes + 1) ** 2)))
+
+
+HEAT_KERNEL = register_dynamics(DynamicsKind(
+    name="Heat Kernel",
+    aggressiveness_parameter="time t",
+    regularizer="generalized (von Neumann) entropy Tr(X log X)",
+    default_parameters={"t": 2.0},
+    verifier=verify_heat_kernel,
+    key="hk",
+    aliases=("heat_kernel", "heatkernel", "heat-kernel"),
+    spec_type=HeatKernel,
+    local_spec_factory=lambda graph=None: HeatKernel(t=5.0),
+    legacy_axes=lambda *, alphas, ts, steps, walk_alpha: HeatKernel(
+        t=ts if ts is not None else (3.0, 10.0, 30.0)
+    ),
+))
+
+PAGERANK = register_dynamics(DynamicsKind(
+    name="PageRank",
+    aggressiveness_parameter="teleport probability gamma",
+    regularizer="log-determinant -log det(X)",
+    default_parameters={"gamma": 0.2},
+    verifier=verify_pagerank,
+    key="ppr",
+    aliases=("pagerank", "acl", "personalized_pagerank", "spectral"),
+    spec_type=PPR,
+    local_spec_factory=lambda graph=None: PPR(alpha=0.1),
+    legacy_axes=lambda *, alphas, ts, steps, walk_alpha: PPR(
+        alpha=alphas if alphas is not None else (0.01, 0.05, 0.15)
+    ),
+))
+
+LAZY_WALK = register_dynamics(DynamicsKind(
+    name="Lazy Random Walk",
+    aggressiveness_parameter="number of steps k",
+    regularizer="matrix p-norm (1/p) Tr(X^p), p = 1 + 1/k",
+    default_parameters={"alpha": 0.6, "num_steps": 5},
+    verifier=verify_lazy_walk,
+    key="walk",
+    aliases=("lazy_walk", "nibble", "truncated_walk", "lazywalk"),
+    spec_type=LazyWalk,
+    local_spec_factory=lambda graph=None: LazyWalk(
+        steps=_default_nibble_steps(graph), walk_alpha=0.5
+    ),
+    legacy_axes=lambda *, alphas, ts, steps, walk_alpha: LazyWalk(
+        steps=steps if steps is not None else (4, 16, 64),
+        walk_alpha=walk_alpha if walk_alpha is not None else 0.5,
+    ),
+))

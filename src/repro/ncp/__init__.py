@@ -12,7 +12,9 @@ from repro.ncp.profile import (
     ClusterCandidate,
     NCPProfile,
     best_per_size_bucket,
+    cluster_ensemble_ncp,
     flow_cluster_ensemble_ncp,
+    grid_candidates_for_seed_nodes,
     hk_cluster_ensemble_ncp,
     spectral_cluster_ensemble_ncp,
     walk_cluster_ensemble_ncp,
@@ -36,10 +38,12 @@ __all__ = [
     "NCPProfile",
     "NCPRunResult",
     "best_per_size_bucket",
+    "cluster_ensemble_ncp",
     "cluster_niceness",
     "figure1_comparison",
     "flow_cluster_ensemble_ncp",
     "graph_fingerprint",
+    "grid_candidates_for_seed_nodes",
     "hk_cluster_ensemble_ncp",
     "plan_chunks",
     "run_ncp_ensemble",

@@ -23,11 +23,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dynamics import PPR, DiffusionGrid, as_diffusion_grid, warn_deprecated
+from repro.exceptions import InvalidParameterError
 from repro.ncp.niceness import cluster_niceness
 from repro.ncp.profile import (
     best_per_size_bucket,
     flow_cluster_ensemble_ncp,
-    spectral_cluster_ensemble_ncp,
 )
 
 
@@ -209,10 +210,11 @@ def bucket_cloud_niceness(graph, result, *, samples_per_bucket=8, seed=0,
 def figure1_comparison(
     graph,
     *,
+    grid=None,
     num_buckets=10,
-    num_seeds=40,
-    alphas=(0.01, 0.05, 0.15),
-    epsilons=(1e-4, 1e-5),
+    num_seeds=None,
+    alphas=None,
+    epsilons=None,
     min_cluster_size=4,
     seed=None,
     niceness_seed=0,
@@ -221,19 +223,52 @@ def figure1_comparison(
 ):
     """Run the complete Figure 1 experiment on one graph.
 
-    Returns a :class:`Figure1Result`. Parameters mirror the two ensemble
-    generators; ``num_buckets`` controls the size resolution of the panels.
-    The spectral ensemble goes through :mod:`repro.ncp.runner`, so
-    ``num_workers >= 1`` shards its diffusion grid across processes and
+    Returns a :class:`Figure1Result`.  ``grid`` is the diffusion-side
+    workload — a :class:`~repro.dynamics.DiffusionGrid` (or spec /
+    registered name); by default the paper's LocalSpectral grid,
+    ``DiffusionGrid(PPR(), num_seeds=num_seeds or 40, seed=seed)``, is
+    used.  ``num_seeds`` applies only to that default grid — an explicit
+    ``grid`` carries its own seed sampling, and combining the two raises.
+    The diffusion ensemble goes through :mod:`repro.ncp.runner`, so
+    ``num_workers >= 1`` shards its grid across processes and
     ``cache_dir`` memoizes the shards on disk; both leave the result
-    unchanged.
+    unchanged.  ``seed`` also drives the flow ensemble's recursive
+    bisection, and ``num_buckets`` controls the size resolution of the
+    panels.
+
+    Passing the old ``alphas=`` / ``epsilons=`` keywords instead of a
+    grid is deprecated; the equivalent PPR grid is constructed and a
+    :class:`DeprecationWarning` is emitted.
     """
     from repro.ncp.runner import run_ncp_ensemble
 
+    if grid is None:
+        if alphas is not None or epsilons is not None:
+            warn_deprecated(
+                "figure1_comparison(alphas=..., epsilons=...)",
+                "figure1_comparison(graph, grid=DiffusionGrid(PPR(...)))",
+            )
+        grid = DiffusionGrid(
+            PPR(alpha=alphas if alphas is not None else (0.01, 0.05, 0.15)),
+            epsilons=epsilons if epsilons is not None else (1e-4, 1e-5),
+            num_seeds=num_seeds if num_seeds is not None else 40,
+            seed=seed,
+        )
+    else:
+        if (
+            alphas is not None
+            or epsilons is not None
+            or num_seeds is not None
+        ):
+            raise InvalidParameterError(
+                "figure1_comparison received both a grid and per-ensemble "
+                "keywords (num_seeds/alphas/epsilons); the grid carries "
+                "the full diffusion workload"
+            )
+        grid = as_diffusion_grid(grid)
+
     spectral = run_ncp_ensemble(
-        graph, dynamics="ppr", num_seeds=num_seeds, alphas=alphas,
-        epsilons=epsilons, seed=seed, num_workers=num_workers,
-        cache_dir=cache_dir,
+        graph, grid, num_workers=num_workers, cache_dir=cache_dir,
     ).candidates
     flow = flow_cluster_ensemble_ncp(
         graph, min_size=min_cluster_size, seed=seed

@@ -7,19 +7,23 @@ algorithm?* Different approximation algorithms draw different curves on the
 same graph, and the systematic gap between the spectral and the flow curves
 is the paper's empirical evidence for implicit regularization.
 
-Four ensemble generators:
+Two ensemble generators:
 
-* :func:`spectral_cluster_ensemble_ncp` — the "LocalSpectral (blue)" side:
-  ACL push from many random seeds over a grid of (α, ε); every sweep prefix
-  of every run is a candidate cluster.
-* :func:`hk_cluster_ensemble_ncp` — the heat-kernel dynamics: truncated
-  Taylor push over a grid of (t, ε), batched through
-  :func:`repro.diffusion.engine.batch_hk_push`.
-* :func:`walk_cluster_ensemble_ncp` — the Spielman–Teng truncated lazy
-  walk over a grid of (steps, ε), using the vectorized walk kernel.
+* :func:`cluster_ensemble_ncp` — the diffusion side, for *any* registered
+  dynamics: a :class:`~repro.dynamics.DiffusionGrid` (spec × epsilons ×
+  seed sampling) is swept column by column through the spec's batched
+  engine (or its scalar parity oracle), and every best-per-octave sweep
+  prefix of every column is a candidate cluster.  PPR reproduces the
+  paper's "LocalSpectral (blue)" curve; the heat kernel and the truncated
+  lazy walk are the other two canonical dynamics of Section 3.1.
 * :func:`flow_cluster_ensemble_ncp` — the "Metis+MQI (red)" side: recursive
   multilevel bisection proposes clusters at all scales, each improved by
   iterated MQI.
+
+The pre-registry per-dynamics generators
+(:func:`spectral_cluster_ensemble_ncp`, :func:`hk_cluster_ensemble_ncp`,
+:func:`walk_cluster_ensemble_ncp`) remain as deprecation shims that
+construct the equivalent grid spec.
 
 Candidates are reduced to a profile by :func:`best_per_size_bucket`. For
 large grids, :mod:`repro.ncp.runner` shards the diffusion ensembles across
@@ -33,12 +37,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._validation import as_rng, check_int
-from repro.diffusion.engine import batch_hk_push, batch_ppr_push
-from repro.diffusion.hk_push import heat_kernel_push
-from repro.diffusion.push import approximate_ppr_push
-from repro.diffusion.seeds import degree_weighted_indicator_seed
-from repro.diffusion.truncated_walk import truncated_lazy_walk
-from repro.exceptions import InvalidParameterError, PartitionError
+from repro.dynamics import (
+    DiffusionGrid,
+    HeatKernel,
+    LazyWalk,
+    PPR,
+    as_diffusion_grid,
+    get_dynamics,
+    warn_deprecated,
+)
+from repro.exceptions import PartitionError
 from repro.partition.metrics import conductance
 from repro.partition.mqi import mqi
 from repro.partition.multilevel import recursive_bisection_clusters
@@ -56,7 +64,8 @@ class ClusterCandidate:
     conductance:
         φ in the host graph.
     method:
-        Producing algorithm (``"spectral"`` or ``"flow"``).
+        Producing algorithm (``"spectral"``, ``"hk"``, ``"walk"``, or
+        ``"flow"``).
     """
 
     nodes: np.ndarray
@@ -93,12 +102,6 @@ class NCPProfile:
     num_candidates: int = 0
 
 
-# Cap on the number of dense (node, column) entries per engine batch; seed
-# chunks are sized so the batched residual/approximation matrices stay
-# within a few dozen megabytes regardless of the seed count.
-_BATCH_ENTRY_BUDGET = 2_000_000
-
-
 def _sample_seed_nodes(graph, num_seeds, rng):
     """Sample seed nodes by degree (stationary measure), as in [27]."""
     probabilities = graph.degrees / graph.total_volume
@@ -123,11 +126,64 @@ def _record_sweep_candidates(graph, approximation, candidates, method,
     _octave_candidates(graph, sweep, candidates, method, max_cluster_size)
 
 
-def _seed_chunks(seed_nodes, n, grid_size):
-    """Chunk seed nodes so each dense engine batch stays within budget."""
-    chunk = max(1, _BATCH_ENTRY_BUDGET // max(n * max(grid_size, 1), 1))
-    for start in range(0, len(seed_nodes), chunk):
-        yield seed_nodes[start:start + chunk]
+def cluster_ensemble_ncp(graph, grid):
+    """Generate the NCP candidate ensemble for one diffusion grid.
+
+    The single generator behind every diffusion dynamics: samples
+    ``grid.num_seeds`` seed nodes by degree from ``grid.seed``'s RNG
+    stream, runs the spec's full seed × axis × epsilon grid through its
+    batched engine (``grid.engine="scalar"`` switches to the one-diffusion
+    -at-a-time parity oracle), and records the best sweep prefix of every
+    diffusion column per size octave.
+
+    Parameters
+    ----------
+    graph:
+        Graph with positive degrees.
+    grid:
+        A :class:`~repro.dynamics.DiffusionGrid` — or anything
+        :func:`~repro.dynamics.as_diffusion_grid` accepts (a spec instance
+        such as ``PPR(alpha=(0.05,))``, a registered name like ``"hk"``,
+        or a :class:`~repro.dynamics.DynamicsKind`).
+
+    Returns
+    -------
+    list of :class:`ClusterCandidate`, with ``method`` set to the spec's
+    candidate label (``"spectral"`` / ``"hk"`` / ``"walk"``).
+    """
+    grid = as_diffusion_grid(grid)
+    rng = as_rng(grid.seed)
+    seed_nodes = _sample_seed_nodes(graph, grid.num_seeds, rng)
+    return grid_candidates_for_seed_nodes(
+        graph,
+        seed_nodes,
+        grid.dynamics,
+        epsilons=grid.resolved_epsilons(),
+        max_cluster_size=grid.resolve_max_cluster_size(graph),
+        engine=grid.engine,
+    )
+
+
+def grid_candidates_for_seed_nodes(graph, seed_nodes, spec, *, epsilons,
+                                   max_cluster_size, engine="batched"):
+    """NCP candidates of one registered dynamics for explicit seed nodes.
+
+    The sharding entry point used by :mod:`repro.ncp.runner`: the caller
+    controls exactly which seed nodes this invocation covers, so grid
+    chunks can be distributed across processes and merged
+    deterministically.  Dispatch is fully generic — the spec provides the
+    diffusion columns, this function sweeps them.
+    """
+    get_dynamics(spec)  # raises UnknownDynamicsError for foreign specs
+    label = spec.candidate_label
+    candidates = []
+    for scores in spec.iter_columns(
+        graph, seed_nodes, epsilons=epsilons, engine=engine
+    ):
+        _record_sweep_candidates(
+            graph, scores, candidates, label, max_cluster_size
+        )
+    return candidates
 
 
 def spectral_cluster_ensemble_ncp(
@@ -140,78 +196,36 @@ def spectral_cluster_ensemble_ncp(
     seed=None,
     engine="batched",
 ):
-    """Generate the spectral candidate ensemble by ACL push sweeps.
+    """Deprecated shim: ACL-push ensemble via the unified grid API.
 
-    For each random seed node and each (α, ε), run push and record the best
-    sweep prefix at every admissible size (one candidate per run per size
-    decade, to bound memory).
-
-    The default ``engine="batched"`` runs the whole seed × α × ε grid
-    through :func:`repro.diffusion.engine.batch_ppr_push` (chunked over
-    seeds to bound memory); ``engine="scalar"`` is the original
-    one-push-at-a-time loop, kept as the parity reference. Both sample the
-    same seed nodes from the same RNG stream and emit candidates in the
-    same grid order; the diffusions agree up to the shared ε·d entrywise
-    guarantee, so the resulting conductance profiles match to within that
-    bound.
-
-    Returns a list of :class:`ClusterCandidate`.
+    Equivalent to ``cluster_ensemble_ncp(graph, DiffusionGrid(PPR(alphas),
+    epsilons=...))`` — constructs exactly that grid and emits a
+    :class:`DeprecationWarning`.
     """
-    check_int(num_seeds, "num_seeds", minimum=1)
-    if engine not in ("batched", "scalar"):
-        raise InvalidParameterError(
-            f"engine must be 'batched' or 'scalar'; got {engine!r}"
-        )
-    rng = as_rng(seed)
-    if max_cluster_size is None:
-        max_cluster_size = graph.num_nodes // 2
-    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
-    return spectral_candidates_for_seed_nodes(
-        graph, seed_nodes, alphas=alphas, epsilons=epsilons,
-        max_cluster_size=max_cluster_size, engine=engine,
+    grid = DiffusionGrid(
+        PPR(alpha=alphas), epsilons=epsilons, num_seeds=num_seeds,
+        seed=seed, max_cluster_size=max_cluster_size, engine=engine,
     )
+    warn_deprecated(
+        "spectral_cluster_ensemble_ncp",
+        "cluster_ensemble_ncp(graph, DiffusionGrid(PPR(...)))",
+    )
+    return cluster_ensemble_ncp(graph, grid)
 
 
 def spectral_candidates_for_seed_nodes(graph, seed_nodes, *, alphas,
                                        epsilons, max_cluster_size,
                                        engine="batched"):
-    """Spectral (ACL push) candidates for explicit seed nodes.
-
-    The sharding entry point used by :mod:`repro.ncp.runner`: the caller
-    controls exactly which seed nodes this invocation covers, so grid
-    chunks can be distributed across processes and merged deterministically.
-    """
-    candidates = []
-    if engine == "scalar":
-        for seed_node in seed_nodes:
-            seed_vector = degree_weighted_indicator_seed(
-                graph, [int(seed_node)]
-            )
-            for alpha in alphas:
-                for epsilon in epsilons:
-                    push = approximate_ppr_push(
-                        graph, seed_vector, alpha=alpha, epsilon=epsilon
-                    )
-                    _record_sweep_candidates(
-                        graph, push.approximation, candidates, "spectral",
-                        max_cluster_size,
-                    )
-        return candidates
-
-    grid = len(alphas) * len(epsilons)
-    for block in _seed_chunks(seed_nodes, graph.num_nodes, grid):
-        seed_vectors = [
-            degree_weighted_indicator_seed(graph, [int(s)]) for s in block
-        ]
-        batch = batch_ppr_push(
-            graph, seed_vectors, alphas=alphas, epsilons=epsilons
-        )
-        for b in range(batch.num_columns):
-            _record_sweep_candidates(
-                graph, batch.approximation[:, b], candidates, "spectral",
-                max_cluster_size,
-            )
-    return candidates
+    """Deprecated shim: ACL-push shard via the generic dispatch."""
+    spec = PPR(alpha=alphas)
+    warn_deprecated(
+        "spectral_candidates_for_seed_nodes",
+        "grid_candidates_for_seed_nodes(graph, seed_nodes, PPR(...))",
+    )
+    return grid_candidates_for_seed_nodes(
+        graph, seed_nodes, spec, epsilons=epsilons,
+        max_cluster_size=max_cluster_size, engine=engine,
+    )
 
 
 def hk_cluster_ensemble_ncp(
@@ -224,66 +238,30 @@ def hk_cluster_ensemble_ncp(
     seed=None,
     engine="batched",
 ):
-    """Generate the heat-kernel candidate ensemble by HK push sweeps.
-
-    The heat-kernel analogue of :func:`spectral_cluster_ensemble_ncp`: for
-    each degree-sampled seed node and each (t, ε) grid point, run the
-    truncated-Taylor heat-kernel diffusion and record the best sweep
-    prefix per size octave. ``engine="batched"`` runs the whole
-    seed × t × ε grid through
-    :func:`repro.diffusion.engine.batch_hk_push` (chunked over seeds to
-    bound memory); ``engine="scalar"`` is the one-diffusion-at-a-time
-    loop, kept as the parity reference.
-
-    Returns a list of :class:`ClusterCandidate` with method ``"hk"``.
-    """
-    check_int(num_seeds, "num_seeds", minimum=1)
-    if engine not in ("batched", "scalar"):
-        raise InvalidParameterError(
-            f"engine must be 'batched' or 'scalar'; got {engine!r}"
-        )
-    rng = as_rng(seed)
-    if max_cluster_size is None:
-        max_cluster_size = graph.num_nodes // 2
-    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
-    return hk_candidates_for_seed_nodes(
-        graph, seed_nodes, ts=ts, epsilons=epsilons,
-        max_cluster_size=max_cluster_size, engine=engine,
+    """Deprecated shim: heat-kernel ensemble via the unified grid API."""
+    grid = DiffusionGrid(
+        HeatKernel(t=ts), epsilons=epsilons, num_seeds=num_seeds,
+        seed=seed, max_cluster_size=max_cluster_size, engine=engine,
     )
+    warn_deprecated(
+        "hk_cluster_ensemble_ncp",
+        "cluster_ensemble_ncp(graph, DiffusionGrid(HeatKernel(...)))",
+    )
+    return cluster_ensemble_ncp(graph, grid)
 
 
 def hk_candidates_for_seed_nodes(graph, seed_nodes, *, ts, epsilons,
                                  max_cluster_size, engine="batched"):
-    """Heat-kernel candidates for explicit seed nodes (runner shard)."""
-    candidates = []
-    if engine == "scalar":
-        for seed_node in seed_nodes:
-            seed_vector = degree_weighted_indicator_seed(
-                graph, [int(seed_node)]
-            )
-            for t in ts:
-                for epsilon in epsilons:
-                    push = heat_kernel_push(
-                        graph, seed_vector, t, epsilon=epsilon
-                    )
-                    _record_sweep_candidates(
-                        graph, push.approximation, candidates, "hk",
-                        max_cluster_size,
-                    )
-        return candidates
-
-    grid = len(ts) * len(epsilons)
-    for block in _seed_chunks(seed_nodes, graph.num_nodes, grid):
-        seed_vectors = [
-            degree_weighted_indicator_seed(graph, [int(s)]) for s in block
-        ]
-        batch = batch_hk_push(graph, seed_vectors, ts=ts, epsilons=epsilons)
-        for b in range(batch.num_columns):
-            _record_sweep_candidates(
-                graph, batch.approximation[:, b], candidates, "hk",
-                max_cluster_size,
-            )
-    return candidates
+    """Deprecated shim: heat-kernel shard via the generic dispatch."""
+    spec = HeatKernel(t=ts)
+    warn_deprecated(
+        "hk_candidates_for_seed_nodes",
+        "grid_candidates_for_seed_nodes(graph, seed_nodes, HeatKernel(...))",
+    )
+    return grid_candidates_for_seed_nodes(
+        graph, seed_nodes, spec, epsilons=epsilons,
+        max_cluster_size=max_cluster_size, engine=engine,
+    )
 
 
 def walk_cluster_ensemble_ncp(
@@ -296,53 +274,30 @@ def walk_cluster_ensemble_ncp(
     max_cluster_size=None,
     seed=None,
 ):
-    """Generate the truncated-lazy-walk candidate ensemble [39].
-
-    For each degree-sampled seed node and each (steps, ε) grid point, run
-    the vectorized truncated lazy walk and record the best sweep prefix of
-    the final (degree-normalized) charge per size octave. The step count
-    is the aggressiveness parameter of Section 3.1; ε is the implicit
-    regularizer.
-
-    Returns a list of :class:`ClusterCandidate` with method ``"walk"``.
-    """
-    check_int(num_seeds, "num_seeds", minimum=1)
-    rng = as_rng(seed)
-    if max_cluster_size is None:
-        max_cluster_size = graph.num_nodes // 2
-    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
-    return walk_candidates_for_seed_nodes(
-        graph, seed_nodes, steps=steps, epsilons=epsilons, alpha=alpha,
-        max_cluster_size=max_cluster_size,
+    """Deprecated shim: truncated-lazy-walk ensemble via the grid API."""
+    grid = DiffusionGrid(
+        LazyWalk(steps=steps, walk_alpha=alpha), epsilons=epsilons,
+        num_seeds=num_seeds, seed=seed, max_cluster_size=max_cluster_size,
     )
+    warn_deprecated(
+        "walk_cluster_ensemble_ncp",
+        "cluster_ensemble_ncp(graph, DiffusionGrid(LazyWalk(...)))",
+    )
+    return cluster_ensemble_ncp(graph, grid)
 
 
 def walk_candidates_for_seed_nodes(graph, seed_nodes, *, steps, epsilons,
                                    alpha, max_cluster_size):
-    """Truncated-walk candidates for explicit seed nodes (runner shard).
-
-    Walk trajectories are prefix-closed, so each seed × ε pair runs one
-    walk to ``max(steps)`` and sweeps the charge vector at every requested
-    step count — the trajectory is reused across the steps grid.
-    """
-    candidates = []
-    wanted = sorted(set(check_int(s, "steps", minimum=0) for s in steps))
-    if not wanted:
-        return candidates
-    horizon = wanted[-1]
-    for seed_node in seed_nodes:
-        seed_vector = degree_weighted_indicator_seed(graph, [int(seed_node)])
-        for epsilon in epsilons:
-            walk = truncated_lazy_walk(
-                graph, seed_vector, horizon, epsilon=epsilon, alpha=alpha,
-                keep_trajectory=True,
-            )
-            for k in wanted:
-                _record_sweep_candidates(
-                    graph, walk.trajectory[k], candidates, "walk",
-                    max_cluster_size,
-                )
-    return candidates
+    """Deprecated shim: truncated-walk shard via the generic dispatch."""
+    spec = LazyWalk(steps=steps, walk_alpha=alpha)
+    warn_deprecated(
+        "walk_candidates_for_seed_nodes",
+        "grid_candidates_for_seed_nodes(graph, seed_nodes, LazyWalk(...))",
+    )
+    return grid_candidates_for_seed_nodes(
+        graph, seed_nodes, spec, epsilons=epsilons,
+        max_cluster_size=max_cluster_size,
+    )
 
 
 def _octave_candidates(graph, sweep, out, method, max_cluster_size):

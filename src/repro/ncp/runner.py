@@ -1,11 +1,11 @@
 """Process-parallel, disk-memoized NCP ensemble orchestration.
 
 The Figure 1 pipeline reduces thousands of strongly local diffusions —
-a seed × α × ε grid for ACL push, seed × t × ε for the heat kernel,
-seed × steps × ε for the truncated walk — to candidate clusters. The
-diffusions are embarrassingly parallel across seed nodes, and the batched
-engines (:mod:`repro.diffusion.engine`) already amortize the grid within
-one process; this module adds the remaining two production levers:
+a seed × axis × ε grid for any registered dynamics — to candidate
+clusters.  The diffusions are embarrassingly parallel across seed nodes,
+and the batched engines (:mod:`repro.diffusion.engine`) already amortize
+the grid within one process; this module adds the remaining two
+production levers:
 
 * **Sharding** — the seed grid is split into fixed-size chunks, each
   evaluated through the chunked batch API, optionally on a pool of worker
@@ -17,6 +17,11 @@ one process; this module adds the remaining two production levers:
   derived from the graph's CSR bytes and the chunk's exact parameters, so
   repeated suite runs (benchmarks, notebook restarts, CI) recompute only
   the chunks that changed.
+
+Dispatch is dynamics-agnostic: a chunk records the canonical registry
+name plus the exact grid parameters, and evaluation reconstructs the spec
+through :func:`repro.dynamics.get_dynamics` — a newly registered dynamics
+shards, pools, and memoizes with zero changes here.
 """
 
 from __future__ import annotations
@@ -30,13 +35,18 @@ from pathlib import Path
 import numpy as np
 
 from repro._validation import as_rng, check_int
+from repro.dynamics import (
+    DiffusionGrid,
+    as_diffusion_grid,
+    get_dynamics,
+    resolve_dynamics_name,
+    warn_deprecated,
+)
 from repro.exceptions import InvalidParameterError
 from repro.ncp.profile import (
     ClusterCandidate,
     _sample_seed_nodes,
-    hk_candidates_for_seed_nodes,
-    spectral_candidates_for_seed_nodes,
-    walk_candidates_for_seed_nodes,
+    grid_candidates_for_seed_nodes,
 )
 
 __all__ = [
@@ -47,11 +57,15 @@ __all__ = [
     "run_ncp_ensemble",
 ]
 
-_DYNAMICS = ("ppr", "hk", "walk")
-
 # Bump when the candidate-generation semantics change, so stale cache
-# entries from older code are never reused.
+# entries from older code are never reused.  (The unified-registry
+# refactor kept both the chunk parameter encoding and the candidate
+# semantics identical, so version 1 entries remain valid.)
 _CACHE_VERSION = 1
+
+# Sentinel distinguishing "kwarg not passed" from an explicit None in the
+# deprecated keyword-soup path of :func:`run_ncp_ensemble`.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -63,19 +77,24 @@ class GridChunk:
     index:
         Position of the chunk in the deterministic merge order.
     dynamics:
-        ``"ppr"``, ``"hk"``, or ``"walk"``.
+        Canonical registry name (``"ppr"``, ``"hk"``, ``"walk"``, ...).
     seed_nodes:
         The seed nodes this chunk covers (tuple of ints).
     params:
         Sorted ``(name, value-tuple)`` pairs pinning the rest of the grid
-        (alphas/epsilons/ts/steps/max_cluster_size) — part of the cache
-        key.
+        (axes/epsilons/max_cluster_size) — part of the cache key.
+    engine:
+        Which engine evaluates the chunk.  Scalar-oracle chunks get their
+        own cache entries: the engines agree only up to eps-scale sweep
+        perturbations, so a scalar run must never be served batched
+        results (or vice versa).
     """
 
     index: int
     dynamics: str
     seed_nodes: tuple
     params: tuple
+    engine: str = "batched"
 
     def describe(self):
         parts = [f"{name}={value!r}" for name, value in self.params]
@@ -83,6 +102,11 @@ class GridChunk:
             f"{self.dynamics}[{self.index}] seeds={list(self.seed_nodes)} "
             + " ".join(parts)
         )
+
+    def spec(self):
+        """Reconstruct the dynamics spec this chunk was planned from."""
+        params = dict(self.params)
+        return get_dynamics(self.dynamics).spec_type.from_grid_params(params)
 
 
 @dataclass
@@ -95,13 +119,15 @@ class NCPRunResult:
         The merged :class:`~repro.ncp.profile.ClusterCandidate` ensemble,
         in deterministic (chunk-index, within-chunk) order.
     dynamics:
-        Which diffusion produced the ensemble.
+        Canonical name of the diffusion that produced the ensemble.
     num_chunks:
         Shards the grid was split into.
     cache_hits:
         Chunks served from the on-disk memo instead of recomputed.
     num_workers:
         Worker processes used (0 means in-process serial execution).
+    grid:
+        The resolved :class:`~repro.dynamics.DiffusionGrid` that was run.
     """
 
     candidates: list = field(repr=False, default_factory=list)
@@ -109,6 +135,7 @@ class NCPRunResult:
     num_chunks: int = 0
     cache_hits: int = 0
     num_workers: int = 0
+    grid: object = field(repr=False, default=None)
 
 
 def graph_fingerprint(graph):
@@ -125,27 +152,31 @@ def graph_fingerprint(graph):
     return digest.hexdigest()
 
 
-def _grid_params(dynamics, *, alphas, epsilons, ts, steps, walk_alpha,
-                 max_cluster_size):
-    """The non-seed grid axes for one dynamics, as hashable param pairs."""
-    common = (("epsilons", tuple(float(e) for e in epsilons)),
-              ("max_cluster_size", int(max_cluster_size)))
-    if dynamics == "ppr":
-        return (("alphas", tuple(float(a) for a in alphas)),) + common
-    if dynamics == "hk":
-        return (("ts", tuple(float(t) for t in ts)),) + common
-    return (("steps", tuple(int(s) for s in steps)),
-            ("walk_alpha", float(walk_alpha))) + common
+def _grid_params(grid, graph):
+    """The non-seed grid axes of a resolved grid, as hashable param pairs.
+
+    Matches the pre-registry encoding exactly (axis pairs first, then
+    ``epsilons`` and ``max_cluster_size``), so memo entries written before
+    the unified registry stay valid.
+    """
+    return grid.dynamics.grid_params() + (
+        ("epsilons", tuple(float(e) for e in grid.resolved_epsilons())),
+        ("max_cluster_size", int(grid.resolve_max_cluster_size(graph))),
+    )
 
 
-def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8):
+def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8,
+                engine="batched"):
     """Split a seed list into deterministic :class:`GridChunk` shards.
 
-    The split depends only on the seed list and ``seeds_per_chunk`` —
-    never on the worker count — so cache keys and merge order are stable
-    across machines and pool sizes.
+    ``dynamics`` may be a canonical name, an alias, a spec instance, or a
+    :class:`~repro.dynamics.DynamicsKind`; chunks always record the
+    canonical name.  The split depends only on the seed list and
+    ``seeds_per_chunk`` — never on the worker count — so cache keys and
+    merge order are stable across machines and pool sizes.
     """
     check_int(seeds_per_chunk, "seeds_per_chunk", minimum=1)
+    dynamics = resolve_dynamics_name(dynamics)
     seed_nodes = [int(s) for s in seed_nodes]
     return [
         GridChunk(
@@ -153,6 +184,7 @@ def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8):
             dynamics=dynamics,
             seed_nodes=tuple(seed_nodes[start:start + seeds_per_chunk]),
             params=tuple(params),
+            engine=engine,
         )
         for i, start in enumerate(
             range(0, len(seed_nodes), seeds_per_chunk)
@@ -164,6 +196,10 @@ def _chunk_cache_key(fingerprint, chunk):
     digest = hashlib.sha256()
     digest.update(f"v{_CACHE_VERSION}|{fingerprint}|".encode())
     digest.update(chunk.describe().encode())
+    if chunk.engine != "batched":
+        # Keyed separately from (and without invalidating) the historical
+        # batched entries, which predate the engine field.
+        digest.update(f"|engine={chunk.engine}".encode())
     return digest.hexdigest()
 
 
@@ -217,23 +253,13 @@ def _load_chunk(path):
 def _evaluate_chunk(graph, chunk):
     """Run one shard's diffusion grid and sweep it into candidates."""
     params = dict(chunk.params)
-    seed_nodes = list(chunk.seed_nodes)
-    if chunk.dynamics == "ppr":
-        return spectral_candidates_for_seed_nodes(
-            graph, seed_nodes, alphas=params["alphas"],
-            epsilons=params["epsilons"],
-            max_cluster_size=params["max_cluster_size"],
-        )
-    if chunk.dynamics == "hk":
-        return hk_candidates_for_seed_nodes(
-            graph, seed_nodes, ts=params["ts"],
-            epsilons=params["epsilons"],
-            max_cluster_size=params["max_cluster_size"],
-        )
-    return walk_candidates_for_seed_nodes(
-        graph, seed_nodes, steps=params["steps"],
-        epsilons=params["epsilons"], alpha=params["walk_alpha"],
+    return grid_candidates_for_seed_nodes(
+        graph,
+        list(chunk.seed_nodes),
+        chunk.spec(),
+        epsilons=params["epsilons"],
         max_cluster_size=params["max_cluster_size"],
+        engine=chunk.engine,
     )
 
 
@@ -246,18 +272,40 @@ def _worker_evaluate(payload):
     return _evaluate_chunk(graph, chunk)
 
 
+def _legacy_grid(dynamics, num_seeds, alphas, epsilons, ts, steps,
+                 walk_alpha, max_cluster_size, seed):
+    """Resolve the deprecated kwarg soup into a :class:`DiffusionGrid`."""
+    kind = get_dynamics("ppr" if dynamics is _UNSET else dynamics)
+    spec = kind.spec_from_legacy(
+        alphas=None if alphas is _UNSET else alphas,
+        ts=None if ts is _UNSET else ts,
+        steps=None if steps is _UNSET else steps,
+        walk_alpha=None if walk_alpha is _UNSET else walk_alpha,
+    )
+    return DiffusionGrid(
+        spec,
+        epsilons=None if epsilons is _UNSET else epsilons,
+        num_seeds=40 if num_seeds is _UNSET else num_seeds,
+        seed=None if seed is _UNSET else seed,
+        max_cluster_size=(
+            None if max_cluster_size is _UNSET else max_cluster_size
+        ),
+    )
+
+
 def run_ncp_ensemble(
     graph,
+    grid=None,
     *,
-    dynamics="ppr",
-    num_seeds=40,
-    alphas=(0.01, 0.05, 0.15),
-    epsilons=None,
-    ts=(3.0, 10.0, 30.0),
-    steps=(4, 16, 64),
-    walk_alpha=0.5,
-    max_cluster_size=None,
-    seed=None,
+    dynamics=_UNSET,
+    num_seeds=_UNSET,
+    alphas=_UNSET,
+    epsilons=_UNSET,
+    ts=_UNSET,
+    steps=_UNSET,
+    walk_alpha=_UNSET,
+    max_cluster_size=_UNSET,
+    seed=_UNSET,
     num_workers=0,
     seeds_per_chunk=8,
     cache_dir=None,
@@ -268,23 +316,20 @@ def run_ncp_ensemble(
     ----------
     graph:
         Graph with positive degrees.
-    dynamics:
-        ``"ppr"`` (ACL push over α × ε), ``"hk"`` (heat-kernel push over
-        t × ε), or ``"walk"`` (truncated lazy walk over steps × ε).
-    num_seeds:
-        Seed nodes sampled by degree from ``seed``'s RNG stream — the
-        same stream the direct ensemble generators use, so a serial
+    grid:
+        The workload: a :class:`~repro.dynamics.DiffusionGrid`, a spec
+        instance (``PPR(...)`` / ``HeatKernel(...)`` / ``LazyWalk(...)``),
+        a registered dynamics name, or a
+        :class:`~repro.dynamics.DynamicsKind`.  Seed sampling uses the
+        grid's own RNG stream — the same stream
+        :func:`~repro.ncp.profile.cluster_ensemble_ncp` uses, so a serial
         generator run and a sharded runner run see identical seeds.
-    alphas, epsilons, ts, steps, walk_alpha:
-        Grid axes; only the axes relevant to ``dynamics`` are used.
-        ``epsilons=None`` resolves to the matching direct generator's
-        default — ``(1e-4, 1e-5)`` for PPR, ``(1e-3, 1e-4)`` for the
-        heat kernel and the walk — so a runner run under defaults shards
-        exactly the ensemble the generator would produce.
-    max_cluster_size:
-        Sweep-prefix size cap (defaults to ``n // 2``).
-    seed:
-        RNG seed (or generator) for seed-node sampling.
+    dynamics, num_seeds, alphas, epsilons, ts, steps, walk_alpha, \
+max_cluster_size, seed:
+        Deprecated keyword-soup form (used only when ``grid`` is omitted):
+        the equivalent :class:`~repro.dynamics.DiffusionGrid` is
+        constructed through the registry and a :class:`DeprecationWarning`
+        is emitted.
     num_workers:
         ``0`` evaluates chunks serially in-process; ``k >= 1`` fans the
         non-cached chunks out to a pool of ``k`` worker processes. The
@@ -301,24 +346,31 @@ def run_ncp_ensemble(
     -------
     NCPRunResult
     """
-    if dynamics not in _DYNAMICS:
-        raise InvalidParameterError(
-            f"dynamics must be one of {_DYNAMICS}; got {dynamics!r}"
-        )
-    check_int(num_seeds, "num_seeds", minimum=1)
-    num_workers = check_int(num_workers, "num_workers", minimum=0)
-    if epsilons is None:
-        epsilons = (1e-4, 1e-5) if dynamics == "ppr" else (1e-3, 1e-4)
-    if max_cluster_size is None:
-        max_cluster_size = graph.num_nodes // 2
-    rng = as_rng(seed)
-    seed_nodes = _sample_seed_nodes(graph, num_seeds, rng)
-    params = _grid_params(
-        dynamics, alphas=alphas, epsilons=epsilons, ts=ts, steps=steps,
-        walk_alpha=walk_alpha, max_cluster_size=max_cluster_size,
+    legacy = (
+        dynamics, num_seeds, alphas, epsilons, ts, steps, walk_alpha,
+        max_cluster_size, seed,
     )
+    if grid is None:
+        grid = _legacy_grid(*legacy)
+        warn_deprecated(
+            "run_ncp_ensemble(dynamics=..., alphas=..., ts=..., steps=...)",
+            "run_ncp_ensemble(graph, DiffusionGrid(...))",
+        )
+    else:
+        if any(value is not _UNSET for value in legacy):
+            raise InvalidParameterError(
+                "run_ncp_ensemble received both a grid and deprecated "
+                "per-dynamics keywords; the grid carries the full workload"
+            )
+        grid = as_diffusion_grid(grid)
+    num_workers = check_int(num_workers, "num_workers", minimum=0)
+
+    rng = as_rng(grid.seed)
+    seed_nodes = _sample_seed_nodes(graph, grid.num_seeds, rng)
+    params = _grid_params(grid, graph)
     chunks = plan_chunks(
-        dynamics, seed_nodes, params, seeds_per_chunk=seeds_per_chunk
+        grid.dynamics, seed_nodes, params,
+        seeds_per_chunk=seeds_per_chunk, engine=grid.engine,
     )
 
     cache_path = None
@@ -371,8 +423,9 @@ def run_ncp_ensemble(
         merged.extend(candidates)
     return NCPRunResult(
         candidates=merged,
-        dynamics=dynamics,
+        dynamics=grid.key,
         num_chunks=len(chunks),
         cache_hits=cache_hits,
         num_workers=num_workers,
+        grid=grid,
     )

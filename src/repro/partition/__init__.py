@@ -17,6 +17,7 @@ from repro.partition.local import (
     acl_cluster,
     best_local_cluster,
     hk_cluster,
+    local_cluster,
     nibble_cluster,
     seed_excluded_from_own_cluster,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "internal_conductance",
     "kappa_for_gamma",
     "kernighan_lin_bisection",
+    "local_cluster",
     "mov_cluster",
     "mov_vector",
     "mqi",

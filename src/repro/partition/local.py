@@ -1,14 +1,24 @@
 """Seed → cluster drivers: the "operational approach" of Section 3.3.
 
-Each driver runs a strongly local diffusion from a seed set and sweeps the
-(degree-normalized) output over its support only, so that the total work —
-diffusion plus sweep — depends on the output size, not on ``n``:
+One generic driver, :func:`local_cluster`, runs a strongly local diffusion
+from a seed set — any single-point spec from the unified dynamics registry
+(:mod:`repro.dynamics`) — and sweeps the (degree-normalized) output over
+its support only, so that the total work — diffusion plus sweep — depends
+on the output size, not on ``n``.  The spec supplies the diffusion
+vectors; dynamics whose trajectory matters (the truncated walk) yield one
+vector per step and the driver keeps the best cut, as Nibble does.
 
-* :func:`acl_cluster` — ACL push on personalized PageRank [1]; the method
-  the paper identifies behind the "LocalSpectral" curve of Figure 1;
-* :func:`nibble_cluster` — Spielman–Teng truncated random walks [39],
-  sweeping every step of the trajectory;
-* :func:`hk_cluster` — heat-kernel push [15].
+The pre-registry per-dynamics drivers remain as thin spec-constructing
+deprecation shims:
+
+* :func:`acl_cluster` — ``local_cluster(graph, seeds, PPR(alpha))``: ACL
+  push on personalized PageRank [1]; the method the paper identifies
+  behind the "LocalSpectral" curve of Figure 1;
+* :func:`nibble_cluster` — ``local_cluster(graph, seeds,
+  LazyWalk(steps))``: Spielman–Teng truncated random walks [39], sweeping
+  every step of the trajectory;
+* :func:`hk_cluster` — ``local_cluster(graph, seeds, HeatKernel(t))``:
+  heat-kernel push [15].
 
 Each returns a :class:`LocalClusterResult` carrying both the cluster and the
 work accounting used by experiment E8.
@@ -21,12 +31,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import check_int, check_positive, check_probability
-from repro.diffusion.hk_push import heat_kernel_push
-from repro.diffusion.push import approximate_ppr_push
 from repro.diffusion.seeds import degree_weighted_indicator_seed
-from repro.diffusion.truncated_walk import truncated_lazy_walk
+from repro.dynamics import (
+    HeatKernel,
+    LazyWalk,
+    PPR,
+    UnknownDynamicsError,
+    get_dynamics,
+    warn_deprecated,
+)
 from repro.exceptions import PartitionError
-from repro.partition.metrics import conductance
 from repro.partition.sweep import sweep_cut
 
 
@@ -47,7 +61,8 @@ class LocalClusterResult:
     work:
         Edge work performed by the diffusion.
     method:
-        ``"acl"``, ``"nibble"``, or ``"hk"``.
+        ``"acl"``, ``"nibble"``, or ``"hk"`` (a registered spec's
+        ``local_method`` label in general).
     contains_seed:
         Whether every seed node ended up inside the cluster — Section 3.3
         warns this can be False ("a seed node not being part of 'its own
@@ -86,9 +101,17 @@ def _finish(graph, scores, restrict_to, seed_nodes, work, method,
     )
 
 
-def acl_cluster(graph, seed_nodes, *, alpha=0.1, epsilon=1e-4,
-                max_volume=None, min_size=1):
-    """Local cluster via ACL push + sweep (the paper's LocalSpectral).
+def _as_point_spec(graph, dynamics):
+    """Resolve a name / alias / spec into a single-point dynamics spec."""
+    if isinstance(dynamics, str):
+        return get_dynamics(dynamics).local_spec(graph)
+    get_dynamics(dynamics)  # raises UnknownDynamicsError for foreign specs
+    return dynamics
+
+
+def local_cluster(graph, seed_nodes, dynamics="ppr", *, epsilon=1e-4,
+                  max_volume=None, min_size=1):
+    """Local cluster via one registered dynamics' diffusion + sweep.
 
     Parameters
     ----------
@@ -96,11 +119,16 @@ def acl_cluster(graph, seed_nodes, *, alpha=0.1, epsilon=1e-4,
         Graph with positive degrees.
     seed_nodes:
         Seed set (ids).
-    alpha:
-        Teleport probability; larger α keeps mass closer to the seed
-        (stronger locality / regularization).
+    dynamics:
+        A single-point spec — ``PPR(alpha=0.1)``, ``HeatKernel(t=5.0)``,
+        ``LazyWalk(steps=40)`` — or a registered name / alias
+        (``"ppr"``/``"acl"``, ``"hk"``, ``"walk"``/``"nibble"``), which
+        resolves to the dynamics' default local point spec (the walk's
+        default step count depends on the graph size).  Grid-valued specs
+        are rejected: a local driver needs one aggressiveness point.
     epsilon:
-        Push threshold; smaller ε = larger support = weaker regularization.
+        Truncation threshold; smaller ε = larger support = weaker
+        regularization.
     max_volume:
         Optional volume cap on the sweep (Problem (9)'s k).
     min_size:
@@ -109,44 +137,28 @@ def acl_cluster(graph, seed_nodes, *, alpha=0.1, epsilon=1e-4,
     Returns
     -------
     LocalClusterResult
+
+    Notes
+    -----
+    Dynamics with a trajectory (the truncated walk) yield one score vector
+    per step; every vector is swept and the best admissible cut wins, as
+    Nibble does.  Single-vector dynamics (ACL push, heat-kernel push)
+    reduce to one diffusion + one sweep.
     """
-    alpha = check_probability(alpha, "alpha")
+    spec = _as_point_spec(graph, dynamics)
     epsilon = check_probability(epsilon, "epsilon")
+    method = spec.local_method
     seed_vector = degree_weighted_indicator_seed(graph, seed_nodes)
-    push = approximate_ppr_push(
-        graph, seed_vector, alpha=alpha, epsilon=epsilon
-    )
-    support = np.flatnonzero(push.approximation > 0)
-    return _finish(
-        graph, push.approximation, support, seed_nodes, push.work, "acl",
-        max_volume, min_size,
-    )
-
-
-def nibble_cluster(graph, seed_nodes, *, num_steps=None, epsilon=1e-4,
-                   max_volume=None, min_size=1):
-    """Local cluster via truncated lazy walks + per-step sweeps [39].
-
-    Sweeps the truncated charge vector after *every* step and keeps the best
-    cut found along the trajectory, as Nibble does.
-    """
-    epsilon = check_probability(epsilon, "epsilon")
-    if num_steps is None:
-        num_steps = max(10, int(np.ceil(np.log2(graph.num_nodes + 1) ** 2)))
-    num_steps = check_int(num_steps, "num_steps", minimum=1)
-    seed_vector = degree_weighted_indicator_seed(graph, seed_nodes)
-    walk = truncated_lazy_walk(
-        graph, seed_vector, num_steps, epsilon=epsilon, keep_trajectory=True
-    )
-    work = int(sum(walk.support_volumes))
     best = None
-    for charge in walk.trajectory[1:]:
-        support = np.flatnonzero(charge)
+    for scores, work in spec.local_sweep_vectors(
+        graph, seed_vector, epsilon=epsilon
+    ):
+        support = np.flatnonzero(scores > 0)
         if support.size == 0:
             continue
         try:
             candidate = _finish(
-                graph, charge, support, seed_nodes, work, "nibble",
+                graph, scores, support, seed_nodes, work, method,
                 max_volume, min_size,
             )
         except PartitionError:
@@ -154,34 +166,118 @@ def nibble_cluster(graph, seed_nodes, *, num_steps=None, epsilon=1e-4,
         if best is None or candidate.conductance < best.conductance:
             best = candidate
     if best is None:
-        raise PartitionError("nibble: no step produced an admissible sweep")
+        raise PartitionError(
+            f"{method}: no diffusion vector produced an admissible sweep"
+        )
     return best
+
+
+def acl_cluster(graph, seed_nodes, *, alpha=0.1, epsilon=1e-4,
+                max_volume=None, min_size=1):
+    """Deprecated shim: ACL push + sweep via :func:`local_cluster`.
+
+    Equivalent to ``local_cluster(graph, seed_nodes, PPR(alpha=alpha),
+    epsilon=epsilon, ...)``; emits a :class:`DeprecationWarning`.
+    """
+    warn_deprecated(
+        "acl_cluster", "local_cluster(graph, seeds, PPR(alpha=...))"
+    )
+    return _acl_cluster(
+        graph, seed_nodes, alpha=alpha, epsilon=epsilon,
+        max_volume=max_volume, min_size=min_size,
+    )
+
+
+def _acl_cluster(graph, seed_nodes, *, alpha=0.1, epsilon=1e-4,
+                 max_volume=None, min_size=1):
+    alpha = check_probability(alpha, "alpha")
+    return local_cluster(
+        graph, seed_nodes, PPR(alpha=alpha), epsilon=epsilon,
+        max_volume=max_volume, min_size=min_size,
+    )
+
+
+def nibble_cluster(graph, seed_nodes, *, num_steps=None, epsilon=1e-4,
+                   max_volume=None, min_size=1):
+    """Deprecated shim: truncated lazy walks via :func:`local_cluster`.
+
+    Equivalent to ``local_cluster(graph, seed_nodes,
+    LazyWalk(steps=num_steps), epsilon=epsilon, ...)``; emits a
+    :class:`DeprecationWarning`.
+    """
+    warn_deprecated(
+        "nibble_cluster", "local_cluster(graph, seeds, LazyWalk(steps=...))"
+    )
+    return _nibble_cluster(
+        graph, seed_nodes, num_steps=num_steps, epsilon=epsilon,
+        max_volume=max_volume, min_size=min_size,
+    )
+
+
+def _nibble_cluster(graph, seed_nodes, *, num_steps=None, epsilon=1e-4,
+                    max_volume=None, min_size=1):
+    if num_steps is None:
+        spec = get_dynamics("walk").local_spec(graph)
+    else:
+        num_steps = check_int(num_steps, "num_steps", minimum=1)
+        spec = LazyWalk(steps=num_steps)
+    return local_cluster(
+        graph, seed_nodes, spec, epsilon=epsilon, max_volume=max_volume,
+        min_size=min_size,
+    )
 
 
 def hk_cluster(graph, seed_nodes, *, t=5.0, epsilon=1e-4, max_volume=None,
                min_size=1):
-    """Local cluster via strongly local heat-kernel diffusion [15]."""
+    """Deprecated shim: heat-kernel diffusion via :func:`local_cluster`.
+
+    Equivalent to ``local_cluster(graph, seed_nodes, HeatKernel(t=t),
+    epsilon=epsilon, ...)``; emits a :class:`DeprecationWarning`.
+    """
+    warn_deprecated(
+        "hk_cluster", "local_cluster(graph, seeds, HeatKernel(t=...))"
+    )
+    return _hk_cluster(
+        graph, seed_nodes, t=t, epsilon=epsilon, max_volume=max_volume,
+        min_size=min_size,
+    )
+
+
+def _hk_cluster(graph, seed_nodes, *, t=5.0, epsilon=1e-4, max_volume=None,
+                min_size=1):
     t = check_positive(t, "t")
-    epsilon = check_probability(epsilon, "epsilon")
-    seed_vector = degree_weighted_indicator_seed(graph, seed_nodes)
-    result = heat_kernel_push(graph, seed_vector, t, epsilon=epsilon)
-    support = np.flatnonzero(result.approximation > 0)
-    return _finish(
-        graph, result.approximation, support, seed_nodes, result.work, "hk",
-        max_volume, min_size,
+    return local_cluster(
+        graph, seed_nodes, HeatKernel(t=t), epsilon=epsilon,
+        max_volume=max_volume, min_size=min_size,
     )
 
 
 def best_local_cluster(graph, seed_nodes, *, methods=("acl", "nibble", "hk"),
                        **kwargs):
-    """Run several local methods from the same seed; keep the best φ."""
-    drivers = {"acl": acl_cluster, "nibble": nibble_cluster, "hk": hk_cluster}
+    """Run several local methods from the same seed; keep the best φ.
+
+    ``methods`` entries are the classic driver names (``"acl"``,
+    ``"nibble"``, ``"hk"``, with their historical per-method keyword
+    overrides in ``kwargs``, e.g. ``acl={"alpha": 0.05}``), any other
+    registry name or alias, or single-point specs; non-classic entries
+    take :func:`local_cluster` keyword overrides instead.
+    """
+    legacy_drivers = {
+        "acl": _acl_cluster, "nibble": _nibble_cluster, "hk": _hk_cluster,
+    }
     best = None
     for name in methods:
-        if name not in drivers:
-            raise PartitionError(f"unknown local method {name!r}")
+        overrides = kwargs.get(name, {}) if isinstance(name, str) else {}
+        if isinstance(name, str) and name in legacy_drivers:
+            driver, args = legacy_drivers[name], (graph, seed_nodes)
+        else:
+            try:
+                spec = _as_point_spec(graph, name)
+            except UnknownDynamicsError:
+                raise PartitionError(f"unknown local method {name!r}")
+            driver, args = local_cluster, (graph, seed_nodes, spec)
         try:
-            candidate = drivers[name](graph, seed_nodes, **kwargs.get(name, {}))
+            candidate = driver(*args, **overrides)
         except PartitionError:
             continue
         if best is None or candidate.conductance < best.conductance:
@@ -197,5 +293,5 @@ def seed_excluded_from_own_cluster(graph, seed_node, **acl_kwargs):
     Returns ``(result, excluded)`` where ``excluded`` is True when the ACL
     sweep cluster does not contain the seed node.
     """
-    result = acl_cluster(graph, [seed_node], **acl_kwargs)
+    result = _acl_cluster(graph, [seed_node], **acl_kwargs)
     return result, not result.contains_seed

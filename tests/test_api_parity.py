@@ -1,0 +1,273 @@
+"""Old-vs-new API parity: the deprecation shims against the unified API.
+
+This is the *only* test module allowed to call the deprecated entry
+points without tripping the suite-wide ``error:repro API deprecation``
+filter (see ``pytest.ini``): its job is to prove that every pre-registry
+entry point still works, warns, and produces an ensemble / cluster that
+is identical — candidate for candidate, in order — to the grid-spec path
+it now wraps, for all three canonical dynamics on the reference graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics import DiffusionGrid, HeatKernel, LazyWalk, PPR
+from repro.ncp.compare import figure1_comparison
+from repro.ncp.profile import (
+    cluster_ensemble_ncp,
+    grid_candidates_for_seed_nodes,
+    hk_cluster_ensemble_ncp,
+    hk_candidates_for_seed_nodes,
+    spectral_cluster_ensemble_ncp,
+    spectral_candidates_for_seed_nodes,
+    walk_cluster_ensemble_ncp,
+    walk_candidates_for_seed_nodes,
+)
+from repro.ncp.runner import run_ncp_ensemble
+from repro.partition.local import (
+    acl_cluster,
+    hk_cluster,
+    local_cluster,
+    nibble_cluster,
+)
+
+# The shims under test *should* warn; keep the warnings observable
+# instead of promoted to errors.
+pytestmark = pytest.mark.filterwarnings("default:repro API deprecation")
+
+
+def candidate_signature(candidates):
+    """Order-sensitive exact signature of a candidate ensemble."""
+    return [
+        (c.nodes.tobytes(), c.conductance, c.method) for c in candidates
+    ]
+
+
+def cluster_signature(result):
+    return (
+        result.nodes.tobytes(),
+        result.conductance,
+        result.method,
+        result.work,
+        result.support_size,
+        bool(result.contains_seed),
+        result.seed_nodes.tobytes(),
+    )
+
+
+ENSEMBLE_CASES = [
+    pytest.param(
+        spectral_cluster_ensemble_ncp,
+        dict(num_seeds=5, alphas=(0.05, 0.15), epsilons=(1e-3,), seed=3),
+        DiffusionGrid(
+            PPR(alpha=(0.05, 0.15)), epsilons=(1e-3,), num_seeds=5, seed=3
+        ),
+        id="ppr",
+    ),
+    pytest.param(
+        hk_cluster_ensemble_ncp,
+        dict(num_seeds=4, ts=(2.0, 8.0), epsilons=(1e-3,), seed=5),
+        DiffusionGrid(
+            HeatKernel(t=(2.0, 8.0)), epsilons=(1e-3,), num_seeds=4, seed=5
+        ),
+        id="hk",
+    ),
+    pytest.param(
+        walk_cluster_ensemble_ncp,
+        dict(num_seeds=4, steps=(4, 16), epsilons=(1e-3,), alpha=0.5,
+             seed=2),
+        DiffusionGrid(
+            LazyWalk(steps=(4, 16), walk_alpha=0.5), epsilons=(1e-3,),
+            num_seeds=4, seed=2,
+        ),
+        id="walk",
+    ),
+]
+
+
+class TestEnsembleShimParity:
+    @pytest.mark.parametrize("shim, legacy_kwargs, grid", ENSEMBLE_CASES)
+    def test_old_generator_matches_grid_api(self, whiskered, shim,
+                                            legacy_kwargs, grid):
+        with pytest.warns(DeprecationWarning, match="repro API deprecation"):
+            old = shim(whiskered, **legacy_kwargs)
+        new = cluster_ensemble_ncp(whiskered, grid)
+        assert len(old) > 0
+        assert candidate_signature(old) == candidate_signature(new)
+
+    @pytest.mark.parametrize("shim, legacy_kwargs, grid", ENSEMBLE_CASES)
+    def test_old_generator_matches_grid_api_on_reference(self, shim,
+                                                         legacy_kwargs,
+                                                         grid):
+        # The acceptance workload: identical ensembles (same candidates,
+        # same order) on the AtP-DBLP reference graph.
+        from repro.datasets import load_graph
+
+        graph = load_graph("atp")
+        with pytest.warns(DeprecationWarning):
+            old = shim(graph, **legacy_kwargs)
+        new = cluster_ensemble_ncp(graph, grid)
+        assert len(old) > 0
+        assert candidate_signature(old) == candidate_signature(new)
+
+
+class TestShardShimParity:
+    def test_spectral_shard_shim(self, whiskered):
+        seeds = [41, 3, 17]
+        kwargs = dict(epsilons=(1e-3,), max_cluster_size=20)
+        with pytest.warns(DeprecationWarning):
+            old = spectral_candidates_for_seed_nodes(
+                whiskered, seeds, alphas=(0.1,), **kwargs
+            )
+        new = grid_candidates_for_seed_nodes(
+            whiskered, seeds, PPR(alpha=(0.1,)), **kwargs
+        )
+        assert candidate_signature(old) == candidate_signature(new)
+
+    def test_hk_shard_shim(self, whiskered):
+        seeds = [41, 3]
+        kwargs = dict(epsilons=(1e-3,), max_cluster_size=20)
+        with pytest.warns(DeprecationWarning):
+            old = hk_candidates_for_seed_nodes(
+                whiskered, seeds, ts=(2.0,), **kwargs
+            )
+        new = grid_candidates_for_seed_nodes(
+            whiskered, seeds, HeatKernel(t=(2.0,)), **kwargs
+        )
+        assert candidate_signature(old) == candidate_signature(new)
+
+    def test_walk_shard_shim(self, whiskered):
+        seeds = [41, 3]
+        with pytest.warns(DeprecationWarning):
+            old = walk_candidates_for_seed_nodes(
+                whiskered, seeds, steps=(4, 8), epsilons=(1e-3,),
+                alpha=0.5, max_cluster_size=20,
+            )
+        new = grid_candidates_for_seed_nodes(
+            whiskered, seeds, LazyWalk(steps=(4, 8), walk_alpha=0.5),
+            epsilons=(1e-3,), max_cluster_size=20,
+        )
+        assert candidate_signature(old) == candidate_signature(new)
+
+
+class TestRunnerShimParity:
+    @pytest.mark.parametrize(
+        "legacy_kwargs, grid",
+        [
+            pytest.param(
+                dict(dynamics="ppr", num_seeds=4, alphas=(0.1,),
+                     epsilons=(1e-3,), seed=0),
+                DiffusionGrid(
+                    PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=4,
+                    seed=0,
+                ),
+                id="ppr",
+            ),
+            pytest.param(
+                dict(dynamics="hk", num_seeds=3, seed=5),
+                DiffusionGrid(HeatKernel(), num_seeds=3, seed=5),
+                id="hk-default-axes",
+            ),
+            pytest.param(
+                dict(dynamics="walk", num_seeds=3, steps=(4, 8),
+                     walk_alpha=0.6, seed=1),
+                DiffusionGrid(
+                    LazyWalk(steps=(4, 8), walk_alpha=0.6), num_seeds=3,
+                    seed=1,
+                ),
+                id="walk",
+            ),
+        ],
+    )
+    def test_legacy_kwarg_soup_matches_grid(self, whiskered, legacy_kwargs,
+                                            grid):
+        with pytest.warns(DeprecationWarning, match="repro API deprecation"):
+            old = run_ncp_ensemble(whiskered, **legacy_kwargs)
+        new = run_ncp_ensemble(whiskered, grid)
+        assert old.dynamics == new.dynamics == grid.key
+        assert old.num_chunks == new.num_chunks
+        assert candidate_signature(old.candidates) == (
+            candidate_signature(new.candidates)
+        )
+
+    def test_legacy_default_dynamics_is_ppr(self, whiskered):
+        with pytest.warns(DeprecationWarning):
+            old = run_ncp_ensemble(whiskered, num_seeds=3, seed=0)
+        new = run_ncp_ensemble(
+            whiskered, DiffusionGrid(PPR(), num_seeds=3, seed=0)
+        )
+        assert old.dynamics == "ppr"
+        assert candidate_signature(old.candidates) == (
+            candidate_signature(new.candidates)
+        )
+
+
+class TestLocalShimParity:
+    def test_acl_shim(self, whiskered):
+        with pytest.warns(DeprecationWarning, match="acl_cluster"):
+            old = acl_cluster(whiskered, [44], alpha=0.05, epsilon=1e-5)
+        new = local_cluster(
+            whiskered, [44], PPR(alpha=0.05), epsilon=1e-5
+        )
+        assert cluster_signature(old) == cluster_signature(new)
+        assert old.method == "acl"
+
+    def test_nibble_shim_default_steps(self, ring):
+        with pytest.warns(DeprecationWarning, match="nibble_cluster"):
+            old = nibble_cluster(ring, [2], epsilon=1e-5)
+        new = local_cluster(ring, [2], "nibble", epsilon=1e-5)
+        assert cluster_signature(old) == cluster_signature(new)
+        assert old.method == "nibble"
+
+    def test_nibble_shim_explicit_steps(self, ring):
+        with pytest.warns(DeprecationWarning):
+            old = nibble_cluster(ring, [2], num_steps=12, epsilon=1e-4)
+        new = local_cluster(
+            ring, [2], LazyWalk(steps=12), epsilon=1e-4
+        )
+        assert cluster_signature(old) == cluster_signature(new)
+
+    def test_hk_shim(self, ring):
+        with pytest.warns(DeprecationWarning, match="hk_cluster"):
+            old = hk_cluster(
+                ring, [2], t=4.0, epsilon=1e-6, max_volume=33.0
+            )
+        new = local_cluster(
+            ring, [2], HeatKernel(t=4.0), epsilon=1e-6, max_volume=33.0
+        )
+        assert cluster_signature(old) == cluster_signature(new)
+        assert old.method == "hk"
+
+
+class TestFigure1ShimParity:
+    def test_legacy_alpha_kwargs_match_grid(self, whiskered):
+        with pytest.warns(DeprecationWarning, match="figure1_comparison"):
+            old = figure1_comparison(
+                whiskered, num_buckets=5, num_seeds=6, alphas=(0.1,),
+                epsilons=(1e-4,), seed=0,
+            )
+        new = figure1_comparison(
+            whiskered,
+            grid=DiffusionGrid(
+                PPR(alpha=(0.1,)), epsilons=(1e-4,), num_seeds=6, seed=0
+            ),
+            num_buckets=5,
+            seed=0,
+        )
+        assert candidate_signature(old.spectral_pool) == (
+            candidate_signature(new.spectral_pool)
+        )
+        assert candidate_signature(old.flow_pool) == (
+            candidate_signature(new.flow_pool)
+        )
+        assert len(old.buckets) == len(new.buckets)
+        for old_b, new_b in zip(old.buckets, new.buckets):
+            assert old_b.size_low == new_b.size_low
+            assert old_b.size_high == new_b.size_high
+            assert np.array_equal(
+                [old_b.spectral_phi, old_b.flow_phi],
+                [new_b.spectral_phi, new_b.flow_phi],
+                equal_nan=True,
+            )

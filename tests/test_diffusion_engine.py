@@ -299,19 +299,21 @@ class TestSweepScanParity:
 
 class TestNCPEngineParity:
     def test_batched_profile_matches_scalar_path(self, whiskered):
+        from repro.dynamics import DiffusionGrid, PPR
         from repro.ncp.profile import (
             best_per_size_bucket,
-            spectral_cluster_ensemble_ncp,
+            cluster_ensemble_ncp,
         )
 
         kwargs = dict(
-            num_seeds=8, alphas=(0.05, 0.15), epsilons=(1e-3, 1e-4), seed=0
+            dynamics=PPR(alpha=(0.05, 0.15)), epsilons=(1e-3, 1e-4),
+            num_seeds=8, seed=0,
         )
-        scalar = spectral_cluster_ensemble_ncp(
-            whiskered, engine="scalar", **kwargs
+        scalar = cluster_ensemble_ncp(
+            whiskered, DiffusionGrid(engine="scalar", **kwargs)
         )
-        batched = spectral_cluster_ensemble_ncp(
-            whiskered, engine="batched", **kwargs
+        batched = cluster_ensemble_ncp(
+            whiskered, DiffusionGrid(engine="batched", **kwargs)
         )
         assert len(batched) > 0
         profile_scalar = best_per_size_bucket(scalar, num_buckets=6)
@@ -330,11 +332,11 @@ class TestNCPEngineParity:
             atol=0.05,
         )
 
-    def test_unknown_engine_rejected(self, whiskered):
-        from repro.ncp.profile import spectral_cluster_ensemble_ncp
+    def test_unknown_engine_rejected(self):
+        from repro.dynamics import DiffusionGrid, PPR
 
         with pytest.raises(InvalidParameterError):
-            spectral_cluster_ensemble_ncp(whiskered, engine="gpu")
+            DiffusionGrid(PPR(), engine="gpu")
 
 
 class TestHeatKernelPushHardening:

@@ -19,12 +19,17 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 class TestEndToEndPipelines:
     def test_full_figure1_pipeline_tiny(self):
         from repro.datasets import synthetic_atp_dblp
+        from repro.dynamics import DiffusionGrid, PPR
         from repro.ncp import figure1_comparison
 
         graph = synthetic_atp_dblp(scale="tiny", seed=2).graph
         result = figure1_comparison(
-            graph, num_buckets=5, num_seeds=8,
-            alphas=(0.05,), epsilons=(1e-4,), seed=3,
+            graph,
+            grid=DiffusionGrid(
+                PPR(alpha=(0.05,)), epsilons=(1e-4,), num_seeds=8, seed=3
+            ),
+            num_buckets=5,
+            seed=3,
         )
         assert result.spectral_candidates > 0
         assert result.flow_candidates > 0
@@ -47,10 +52,13 @@ class TestEndToEndPipelines:
         # A local cluster's conductance is an upper bound for the global
         # minimum conductance found by the spectral pipeline... in general
         # there is no ordering, but both must be valid cuts.
-        from repro.partition import acl_cluster, spectral_cut
+        from repro.dynamics import PPR
+        from repro.partition import local_cluster, spectral_cut
         from repro.partition.metrics import conductance
 
-        local = acl_cluster(whiskered, [41], alpha=0.1, epsilon=1e-4)
+        local = local_cluster(
+            whiskered, [41], PPR(alpha=0.1), epsilon=1e-4
+        )
         global_cut = spectral_cut(whiskered, method="lanczos", seed=0)
         assert conductance(whiskered, local.nodes) == pytest.approx(
             local.conductance
@@ -63,15 +71,18 @@ class TestEndToEndPipelines:
         # The Figure 1(a) direction at miniature scale: best flow cluster
         # at whisker scale should be at least as good as the best spectral
         # prefix of matching size.
+        from repro.dynamics import DiffusionGrid, PPR
         from repro.ncp.profile import (
+            cluster_ensemble_ncp,
             flow_cluster_ensemble_ncp,
-            spectral_cluster_ensemble_ncp,
         )
 
         flow = flow_cluster_ensemble_ncp(whiskered, min_size=4, seed=0)
-        spectral = spectral_cluster_ensemble_ncp(
-            whiskered, num_seeds=10, alphas=(0.05,), epsilons=(1e-4,),
-            seed=0,
+        spectral = cluster_ensemble_ncp(
+            whiskered,
+            DiffusionGrid(
+                PPR(alpha=(0.05,)), epsilons=(1e-4,), num_seeds=10, seed=0
+            ),
         )
         best_flow = min(c.conductance for c in flow)
         best_spectral = min(c.conductance for c in spectral)

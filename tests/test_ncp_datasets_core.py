@@ -25,11 +25,12 @@ from repro.datasets.synthetic_dblp import (
 )
 from repro.exceptions import PartitionError
 from repro.ncp.niceness import cluster_niceness
+from repro.dynamics import DiffusionGrid, PPR
 from repro.ncp.profile import (
     ClusterCandidate,
     best_per_size_bucket,
+    cluster_ensemble_ncp,
     flow_cluster_ensemble_ncp,
-    spectral_cluster_ensemble_ncp,
 )
 
 
@@ -68,8 +69,11 @@ class TestNiceness:
 
 class TestNCPProfiles:
     def test_spectral_ensemble_produces_candidates(self, whiskered):
-        candidates = spectral_cluster_ensemble_ncp(
-            whiskered, num_seeds=6, alphas=(0.05,), epsilons=(1e-4,), seed=0
+        candidates = cluster_ensemble_ncp(
+            whiskered,
+            DiffusionGrid(
+                PPR(alpha=(0.05,)), epsilons=(1e-4,), num_seeds=6, seed=0
+            ),
         )
         assert len(candidates) > 0
         for candidate in candidates:
@@ -89,8 +93,11 @@ class TestNCPProfiles:
         assert best <= 1 / 9 + 1e-9
 
     def test_bucket_profile_structure(self, whiskered):
-        candidates = spectral_cluster_ensemble_ncp(
-            whiskered, num_seeds=6, alphas=(0.05,), epsilons=(1e-4,), seed=2
+        candidates = cluster_ensemble_ncp(
+            whiskered,
+            DiffusionGrid(
+                PPR(alpha=(0.05,)), epsilons=(1e-4,), num_seeds=6, seed=2
+            ),
         )
         profile = best_per_size_bucket(candidates, num_buckets=5)
         assert profile.bucket_edges.size == profile.best_conductance.size + 1
@@ -278,14 +285,32 @@ class TestWhiskerChainsAndClouds:
         assert grown.num_nodes > plain.num_nodes
         assert (grown.degrees == 1).sum() > (plain.degrees == 1).sum()
 
+    def test_figure1_rejects_grid_plus_ensemble_kwargs(self, whiskered):
+        # An explicit grid carries the full diffusion workload; combining
+        # it with num_seeds/alphas/epsilons must raise, not silently
+        # ignore the per-ensemble keywords.
+        from repro.exceptions import InvalidParameterError
+        from repro.ncp import figure1_comparison
+
+        grid = DiffusionGrid(PPR(alpha=(0.1,)), num_seeds=4, seed=0)
+        for kwargs in (
+            {"num_seeds": 8}, {"alphas": (0.1,)}, {"epsilons": (1e-4,)},
+        ):
+            with pytest.raises(InvalidParameterError):
+                figure1_comparison(whiskered, grid=grid, **kwargs)
+
     def test_bucket_cloud_niceness_structure(self, whiskered):
         import numpy as np
 
         from repro.ncp import bucket_cloud_niceness, figure1_comparison
 
         result = figure1_comparison(
-            whiskered, num_buckets=4, num_seeds=6,
-            alphas=(0.05,), epsilons=(1e-4,), seed=0,
+            whiskered,
+            grid=DiffusionGrid(
+                PPR(alpha=(0.05,)), epsilons=(1e-4,), num_seeds=6, seed=0
+            ),
+            num_buckets=4,
+            seed=0,
         )
         clouds = bucket_cloud_niceness(
             whiskered, result, samples_per_bucket=4, seed=0

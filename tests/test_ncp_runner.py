@@ -3,9 +3,11 @@
 The runner's contract is determinism: the candidate ensemble must be
 identical whether chunks run serially in-process, on a worker pool, or
 come back from the on-disk memo — and identical to the direct generator
-loop. The regression tests pin the profile bugs this PR fixes: the
-top-edge bucket drop, the collision-prone flow dedup key, and the
-mixing-time non-convergence lie.
+loop.  All workloads are expressed as :class:`repro.dynamics.DiffusionGrid`
+specs; the deprecated keyword-soup path is covered by the dedicated
+shim-parity module.  The regression tests pin the profile bugs fixed in
+PR 2: the top-edge bucket drop, the collision-prone flow dedup key, and
+the mixing-time non-convergence lie.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.diffusion import mixing_time
+from repro.dynamics import DiffusionGrid, HeatKernel, LazyWalk, PPR
 from repro.exceptions import (
     ConvergenceError,
     InvalidParameterError,
@@ -24,9 +27,7 @@ from repro.ncp.profile import (
     ClusterCandidate,
     _unique_clusters,
     best_per_size_bucket,
-    hk_cluster_ensemble_ncp,
-    spectral_cluster_ensemble_ncp,
-    walk_cluster_ensemble_ncp,
+    cluster_ensemble_ncp,
 )
 from repro.ncp.runner import (
     graph_fingerprint,
@@ -43,15 +44,20 @@ def candidate_signature(candidates):
     ]
 
 
-GRID = dict(num_seeds=8, alphas=(0.05, 0.15), epsilons=(1e-3, 1e-4))
+def ppr_grid(**overrides):
+    base = dict(
+        dynamics=PPR(alpha=(0.05, 0.15)), epsilons=(1e-3, 1e-4),
+        num_seeds=8, seed=3,
+    )
+    base.update(overrides)
+    return DiffusionGrid(**base)
 
 
 class TestRunnerDeterminism:
     def test_serial_runner_matches_direct_generator(self, whiskered):
-        direct = spectral_cluster_ensemble_ncp(whiskered, seed=3, **GRID)
-        run = run_ncp_ensemble(
-            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=3, **GRID
-        )
+        grid = ppr_grid()
+        direct = cluster_ensemble_ncp(whiskered, grid)
+        run = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=3)
         assert run.num_chunks == 3
         assert run.num_workers == 0
         assert candidate_signature(run.candidates) == candidate_signature(
@@ -59,12 +65,10 @@ class TestRunnerDeterminism:
         )
 
     def test_worker_pool_matches_serial(self, whiskered):
-        serial = run_ncp_ensemble(
-            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=3, **GRID
-        )
+        grid = ppr_grid()
+        serial = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=3)
         pooled = run_ncp_ensemble(
-            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=3,
-            num_workers=2, **GRID
+            whiskered, grid, seeds_per_chunk=3, num_workers=2
         )
         assert pooled.num_workers == 2
         assert candidate_signature(pooled.candidates) == (
@@ -72,12 +76,9 @@ class TestRunnerDeterminism:
         )
 
     def test_chunk_width_does_not_change_ensemble(self, whiskered):
-        wide = run_ncp_ensemble(
-            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=8, **GRID
-        )
-        narrow = run_ncp_ensemble(
-            whiskered, dynamics="ppr", seed=3, seeds_per_chunk=1, **GRID
-        )
+        grid = ppr_grid()
+        wide = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=8)
+        narrow = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=1)
         assert narrow.num_chunks == 8
         assert candidate_signature(wide.candidates) == candidate_signature(
             narrow.candidates
@@ -90,68 +91,113 @@ class TestRunnerDeterminism:
         assert [c.seed_nodes for c in chunks] == [(5, 9), (2, 7), (1,)]
         assert all(c.dynamics == "hk" for c in chunks)
 
+    def test_plan_chunks_canonicalizes_aliases_and_specs(self):
+        spec = HeatKernel(t=(3.0,))
+        by_alias = plan_chunks("heat_kernel", [1, 2], spec.grid_params())
+        by_spec = plan_chunks(spec, [1, 2], spec.grid_params())
+        assert by_alias == by_spec
+        assert by_alias[0].dynamics == "hk"
+
     def test_unknown_dynamics_rejected(self, whiskered):
         with pytest.raises(InvalidParameterError):
-            run_ncp_ensemble(whiskered, dynamics="quantum")
+            run_ncp_ensemble(whiskered, "quantum")
+
+    def test_grid_plus_legacy_kwargs_rejected(self, whiskered):
+        with pytest.raises(InvalidParameterError):
+            run_ncp_ensemble(whiskered, ppr_grid(), num_seeds=4)
 
 
 class TestRunnerMemoization:
     def test_second_run_serves_all_chunks_from_cache(self, whiskered,
                                                      tmp_path):
-        kwargs = dict(
-            dynamics="hk", num_seeds=6, ts=(2.0, 8.0), epsilons=(1e-3,),
-            seed=1, seeds_per_chunk=2, cache_dir=tmp_path,
+        grid = DiffusionGrid(
+            HeatKernel(t=(2.0, 8.0)), epsilons=(1e-3,), num_seeds=6, seed=1
         )
-        first = run_ncp_ensemble(whiskered, **kwargs)
+        kwargs = dict(seeds_per_chunk=2, cache_dir=tmp_path)
+        first = run_ncp_ensemble(whiskered, grid, **kwargs)
         assert first.cache_hits == 0
         assert len(list(tmp_path.glob("*.npz"))) == first.num_chunks
-        second = run_ncp_ensemble(whiskered, **kwargs)
+        second = run_ncp_ensemble(whiskered, grid, **kwargs)
         assert second.cache_hits == second.num_chunks == first.num_chunks
         assert candidate_signature(second.candidates) == (
             candidate_signature(first.candidates)
         )
 
     def test_different_grid_misses_cache(self, whiskered, tmp_path):
-        base = dict(dynamics="ppr", num_seeds=4, epsilons=(1e-3,), seed=0,
-                    cache_dir=tmp_path)
-        run_ncp_ensemble(whiskered, alphas=(0.1,), **base)
-        other = run_ncp_ensemble(whiskered, alphas=(0.2,), **base)
+        base = dict(epsilons=(1e-3,), num_seeds=4, seed=0)
+        run_ncp_ensemble(
+            whiskered, DiffusionGrid(PPR(alpha=(0.1,)), **base),
+            cache_dir=tmp_path,
+        )
+        other = run_ncp_ensemble(
+            whiskered, DiffusionGrid(PPR(alpha=(0.2,)), **base),
+            cache_dir=tmp_path,
+        )
         assert other.cache_hits == 0
 
     def test_corrupt_cache_entry_is_recomputed(self, whiskered, tmp_path):
-        kwargs = dict(dynamics="ppr", num_seeds=3, alphas=(0.1,),
-                      epsilons=(1e-3,), seed=0, cache_dir=tmp_path)
-        first = run_ncp_ensemble(whiskered, **kwargs)
+        grid = DiffusionGrid(
+            PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=3, seed=0
+        )
+        first = run_ncp_ensemble(whiskered, grid, cache_dir=tmp_path)
         for entry in tmp_path.glob("*.npz"):
             entry.write_bytes(b"not a zip file")
-        repaired = run_ncp_ensemble(whiskered, **kwargs)
+        repaired = run_ncp_ensemble(whiskered, grid, cache_dir=tmp_path)
         assert repaired.cache_hits == 0
         assert candidate_signature(repaired.candidates) == (
             candidate_signature(first.candidates)
         )
         # The rewritten entries serve the next run.
-        third = run_ncp_ensemble(whiskered, **kwargs)
+        third = run_ncp_ensemble(whiskered, grid, cache_dir=tmp_path)
         assert third.cache_hits == third.num_chunks
 
+    def test_scalar_engine_never_served_batched_entries(self, whiskered,
+                                                        tmp_path):
+        # Regression: the engines agree only up to eps-scale sweep
+        # perturbations, so a scalar-oracle run must not alias the
+        # batched cache entries (or vice versa).
+        base = dict(
+            dynamics=PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=4,
+            seed=0,
+        )
+        batched = run_ncp_ensemble(
+            whiskered, DiffusionGrid(engine="batched", **base),
+            cache_dir=tmp_path,
+        )
+        assert batched.cache_hits == 0
+        scalar = run_ncp_ensemble(
+            whiskered, DiffusionGrid(engine="scalar", **base),
+            cache_dir=tmp_path,
+        )
+        assert scalar.cache_hits == 0
+        # Each engine's entries serve its own repeat runs.
+        again = run_ncp_ensemble(
+            whiskered, DiffusionGrid(engine="scalar", **base),
+            cache_dir=tmp_path,
+        )
+        assert again.cache_hits == again.num_chunks
+
     def test_different_graph_misses_cache(self, whiskered, ring, tmp_path):
-        kwargs = dict(dynamics="ppr", num_seeds=4, alphas=(0.1,),
-                      epsilons=(1e-3,), seed=0, cache_dir=tmp_path)
-        run_ncp_ensemble(whiskered, **kwargs)
-        other = run_ncp_ensemble(ring, **kwargs)
+        grid = DiffusionGrid(
+            PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=4, seed=0
+        )
+        run_ncp_ensemble(whiskered, grid, cache_dir=tmp_path)
+        other = run_ncp_ensemble(ring, grid, cache_dir=tmp_path)
         assert other.cache_hits == 0
         assert graph_fingerprint(whiskered) != graph_fingerprint(ring)
 
 
 class TestMultiDynamicsEnsembles:
     def test_hk_ensemble_batched_matches_scalar_path(self, whiskered):
-        kwargs = dict(
-            num_seeds=6, ts=(2.0, 8.0), epsilons=(1e-3, 1e-4), seed=0
+        base = dict(
+            dynamics=HeatKernel(t=(2.0, 8.0)), epsilons=(1e-3, 1e-4),
+            num_seeds=6, seed=0,
         )
-        scalar = hk_cluster_ensemble_ncp(
-            whiskered, engine="scalar", **kwargs
+        scalar = cluster_ensemble_ncp(
+            whiskered, DiffusionGrid(engine="scalar", **base)
         )
-        batched = hk_cluster_ensemble_ncp(
-            whiskered, engine="batched", **kwargs
+        batched = cluster_ensemble_ncp(
+            whiskered, DiffusionGrid(engine="batched", **base)
         )
         assert len(batched) > 0
         assert all(c.method == "hk" for c in batched)
@@ -167,36 +213,55 @@ class TestMultiDynamicsEnsembles:
             atol=0.05,
         )
 
-    def test_hk_ensemble_rejects_unknown_engine(self, whiskered):
+    def test_grid_rejects_unknown_engine(self):
         with pytest.raises(InvalidParameterError):
-            hk_cluster_ensemble_ncp(whiskered, engine="gpu")
+            DiffusionGrid(HeatKernel(), engine="gpu")
 
     def test_walk_ensemble_produces_walk_candidates(self, whiskered):
-        candidates = walk_cluster_ensemble_ncp(
-            whiskered, num_seeds=5, steps=(4, 16), epsilons=(1e-3,), seed=2
+        candidates = cluster_ensemble_ncp(
+            whiskered,
+            DiffusionGrid(
+                LazyWalk(steps=(4, 16)), epsilons=(1e-3,), num_seeds=5,
+                seed=2,
+            ),
         )
         assert len(candidates) > 0
         assert all(c.method == "walk" for c in candidates)
         profile = best_per_size_bucket(candidates, num_buckets=5)
         assert np.isfinite(profile.best_conductance).any()
 
-    def test_runner_defaults_match_generator_defaults(self, whiskered):
+    def test_runner_matches_direct_generator_under_defaults(self, whiskered):
         # epsilons=None resolves per dynamics, so a default runner run
         # shards exactly the ensemble the direct generator produces.
-        direct = hk_cluster_ensemble_ncp(whiskered, num_seeds=3, seed=5)
-        run = run_ncp_ensemble(
-            whiskered, dynamics="hk", num_seeds=3, seed=5
-        )
+        grid = DiffusionGrid(HeatKernel(), num_seeds=3, seed=5)
+        direct = cluster_ensemble_ncp(whiskered, grid)
+        run = run_ncp_ensemble(whiskered, grid)
         assert candidate_signature(run.candidates) == candidate_signature(
             direct
         )
 
     def test_runner_covers_all_dynamics(self, whiskered):
-        for dynamics in ("ppr", "hk", "walk"):
+        for spec in (PPR(), HeatKernel(), LazyWalk()):
             run = run_ncp_ensemble(
-                whiskered, dynamics=dynamics, num_seeds=4, seed=0
+                whiskered, DiffusionGrid(spec, num_seeds=4, seed=0)
             )
-            assert len(run.candidates) > 0, dynamics
+            assert len(run.candidates) > 0, spec
+            assert run.dynamics == type(spec).name
+            assert run.grid.dynamics == spec
+
+    def test_runner_accepts_names_and_kinds(self, whiskered):
+        from repro.dynamics import get_dynamics
+
+        by_name = run_ncp_ensemble(
+            whiskered, DiffusionGrid("hk", num_seeds=3, seed=0)
+        )
+        by_kind = run_ncp_ensemble(
+            whiskered,
+            DiffusionGrid(get_dynamics("heat_kernel"), num_seeds=3, seed=0),
+        )
+        assert candidate_signature(by_name.candidates) == (
+            candidate_signature(by_kind.candidates)
+        )
 
     def test_multidynamics_record(self, whiskered):
         from repro.core import run_multidynamics_ncp
@@ -208,6 +273,31 @@ class TestMultiDynamicsEnsembles:
         assert set(profiles) == {"ppr", "hk", "walk"}
         for name in profiles:
             assert record.details[name]["num_candidates"] > 0
+
+    def test_multidynamics_accepts_specs(self, whiskered):
+        from repro.core import run_multidynamics_ncp
+
+        record, profiles = run_multidynamics_ncp(
+            whiskered,
+            dynamics=(PPR(alpha=(0.1,)), HeatKernel(t=(3.0,))),
+            num_seeds=3,
+            seed=0,
+        )
+        assert set(profiles) == {"ppr", "hk"}
+        assert record.shape_matches
+
+    def test_multidynamics_rejects_duplicate_dynamics(self, whiskered):
+        # Results are keyed by canonical name; two PPR workloads would
+        # silently drop one, so the call must refuse instead.
+        from repro.core import run_multidynamics_ncp
+
+        with pytest.raises(InvalidParameterError):
+            run_multidynamics_ncp(
+                whiskered,
+                dynamics=(PPR(alpha=(0.01,)), PPR(alpha=(0.5,))),
+                num_seeds=2,
+                seed=0,
+            )
 
     def test_multidynamics_record_reports_empty_ensembles(self):
         # A graph too small for any sweep must yield a mismatch record,
@@ -221,12 +311,9 @@ class TestMultiDynamicsEnsembles:
         assert all(profile is None for profile in profiles.values())
         assert "no candidates" in record.observed
 
-    def test_walk_ensemble_rejects_negative_steps(self, whiskered):
+    def test_walk_spec_rejects_negative_steps(self):
         with pytest.raises(InvalidParameterError):
-            walk_cluster_ensemble_ncp(
-                whiskered, num_seeds=2, steps=(-1, 16), epsilons=(1e-3,),
-                seed=0,
-            )
+            LazyWalk(steps=(-1, 16))
 
 
 class TestTopBucketRegression:

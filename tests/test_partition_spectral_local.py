@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.dynamics import HeatKernel, LazyWalk, PPR
 from repro.exceptions import InvalidParameterError, PartitionError
 from repro.graph.generators import barbell_graph, lollipop_graph, roach_graph
 from repro.graph.random_generators import whiskered_expander
@@ -13,12 +14,7 @@ from repro.partition.baselines import (
     kernighan_lin_bisection,
     random_bisection,
 )
-from repro.partition.local import (
-    acl_cluster,
-    best_local_cluster,
-    hk_cluster,
-    nibble_cluster,
-)
+from repro.partition.local import best_local_cluster, local_cluster
 from repro.partition.metrics import conductance
 from repro.partition.mov import kappa_for_gamma, mov_cluster, mov_vector
 from repro.partition.spectral import (
@@ -94,7 +90,9 @@ class TestSpectralCut:
 
 class TestLocalClustering:
     def test_acl_recovers_whisker(self, whiskered):
-        result = acl_cluster(whiskered, [44], alpha=0.05, epsilon=1e-5)
+        result = local_cluster(
+            whiskered, [44], PPR(alpha=0.05), epsilon=1e-5
+        )
         # Whisker 0 occupies 40..44; its cut is a single edge: φ = 1/9.
         assert result.conductance <= 1 / 9 + 1e-9
         assert set(result.nodes.tolist()) >= {40, 41, 42, 43, 44}
@@ -102,38 +100,49 @@ class TestLocalClustering:
     def test_acl_recovers_clique_in_ring(self, ring):
         # Cap the sweep volume at one clique's volume so the local scale is
         # selected (the global half-ring cut is slightly better otherwise).
-        result = acl_cluster(
-            ring, [2], alpha=0.1, epsilon=1e-6, max_volume=33.0
+        result = local_cluster(
+            ring, [2], PPR(alpha=0.1), epsilon=1e-6, max_volume=33.0
         )
         assert set(result.nodes.tolist()) == set(range(6))
 
     def test_nibble_recovers_clique_in_ring(self, ring):
-        result = nibble_cluster(ring, [2], epsilon=1e-5)
+        result = local_cluster(ring, [2], "nibble", epsilon=1e-5)
         # Nibble's best sweep is at least as good as the single clique.
         assert result.conductance <= conductance(ring, range(6)) + 1e-9
 
     def test_hk_recovers_clique_in_ring(self, ring):
-        result = hk_cluster(
-            ring, [2], t=4.0, epsilon=1e-6, max_volume=33.0
+        result = local_cluster(
+            ring, [2], HeatKernel(t=4.0), epsilon=1e-6, max_volume=33.0
         )
         assert set(result.nodes.tolist()) == set(range(6))
 
     def test_max_volume_respected(self, ring):
-        result = acl_cluster(
-            ring, [0], alpha=0.1, epsilon=1e-6, max_volume=40.0
+        result = local_cluster(
+            ring, [0], PPR(alpha=0.1), epsilon=1e-6, max_volume=40.0
         )
         assert ring.volume(result.nodes) <= 40.0
 
     def test_best_local_cluster_picks_minimum(self, ring):
         best = best_local_cluster(ring, [2])
-        for method in ("acl", "nibble", "hk"):
-            assert best.conductance <= getattr(
-                __import__("repro.partition.local", fromlist=[method]),
-                f"{method}_cluster",
-            )(ring, [2]).conductance + 1e-9
+        for dynamics in ("acl", "nibble", "hk"):
+            single = local_cluster(ring, [2], dynamics)
+            assert best.conductance <= single.conductance + 1e-9
+
+    def test_grid_valued_spec_rejected(self, ring):
+        with pytest.raises(InvalidParameterError):
+            local_cluster(ring, [0], PPR(alpha=(0.05, 0.15)))
+
+    def test_unknown_dynamics_rejected(self, ring):
+        with pytest.raises(InvalidParameterError):
+            local_cluster(ring, [0], "landing")
+
+    def test_walk_point_spec_drives_nibble(self, ring):
+        by_spec = local_cluster(ring, [2], LazyWalk(steps=40), epsilon=1e-5)
+        assert by_spec.method == "nibble"
+        assert by_spec.work > 0
 
     def test_work_accounting_positive(self, ring):
-        result = acl_cluster(ring, [0], alpha=0.1, epsilon=1e-4)
+        result = local_cluster(ring, [0], PPR(alpha=0.1), epsilon=1e-4)
         assert result.work > 0
         assert result.num_pushes if hasattr(result, "num_pushes") else True
 
@@ -141,7 +150,9 @@ class TestLocalClustering:
         works = []
         for core in (64, 256):
             g = whiskered_expander(core, 4, 4, 6, seed=2)
-            result = acl_cluster(g, [core], alpha=0.2, epsilon=1e-3)
+            result = local_cluster(
+                g, [core], PPR(alpha=0.2), epsilon=1e-3
+            )
             works.append(result.work)
         assert works[1] < 4 * works[0] + 200
 

@@ -1,0 +1,95 @@
+"""Public-API smoke: every ``__all__`` name imports, every dynamics runs.
+
+The CI ``public-api-smoke`` job runs this module on its own: it imports
+every name exported by each package's ``__all__`` (so a broken re-export
+or a renamed symbol fails loudly, not at a user's first import) and
+instantiates every registered dynamics — default spec, default grid,
+local point spec — through the registry.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.dynamics import (
+    DiffusionGrid,
+    get_dynamics,
+    registered_dynamics,
+)
+from repro.graph.generators import ring_of_cliques
+
+PACKAGES = [
+    "repro",
+    "repro.api",
+    "repro.core",
+    "repro.datasets",
+    "repro.diffusion",
+    "repro.dynamics",
+    "repro.graph",
+    "repro.linalg",
+    "repro.ncp",
+    "repro.partition",
+    "repro.regularization",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_public_name_is_importable(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{package} must declare a nonempty __all__"
+    assert sorted(set(exported)) == sorted(exported), (
+        f"{package}.__all__ contains duplicates"
+    )
+    for name in exported:
+        assert getattr(module, name, None) is not None, (
+            f"{package}.__all__ exports {name!r} but the attribute is "
+            "missing or None"
+        )
+
+
+def test_every_registered_dynamics_instantiates():
+    graph = ring_of_cliques(4, 5)
+    kinds = registered_dynamics()
+    assert set(kinds) >= {"ppr", "hk", "walk"}
+    for key, kind in kinds.items():
+        spec = kind.default_spec()
+        assert get_dynamics(spec) is kind, key
+        assert spec.default_epsilons, key
+        assert spec.grid_size(spec.default_epsilons) >= 1, key
+
+        grid = DiffusionGrid(spec)
+        assert grid.key == key
+        assert grid.resolved_epsilons() == tuple(spec.default_epsilons)
+
+        local = kind.local_spec(graph)
+        assert get_dynamics(local) is kind, key
+        # A local spec must be a usable single point for every swept axis.
+        for axis, values in local.grid_axes().items():
+            assert len(values) == 1, (key, axis)
+
+
+def test_every_registered_dynamics_yields_columns():
+    graph = ring_of_cliques(4, 5)
+    for key, kind in registered_dynamics().items():
+        spec = kind.default_spec()
+        columns = list(
+            spec.iter_columns(
+                graph, [0], epsilons=(1e-3,), engine="batched"
+            )
+        )
+        assert len(columns) == spec.grid_size((1e-3,)), key
+        assert all(column.shape == (graph.num_nodes,) for column in columns)
+
+
+def test_facade_and_subpackage_exports_agree():
+    import repro
+    import repro.api as api
+
+    # The facade re-exports the registry objects, not copies.
+    assert api.get_dynamics("ppr") is repro.get_dynamics("ppr")
+    assert api.canonical_dynamics() == repro.canonical_dynamics()
+    assert api.PPR is repro.PPR
+    assert api.DiffusionGrid is repro.DiffusionGrid
