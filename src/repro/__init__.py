@@ -9,6 +9,9 @@ Subpackages
 ``repro.api``
     The one-stop typed facade: specs, grids, registry, ensembles, local
     clustering, verification.
+``repro.cli``
+    The ``python -m repro`` workbench: datasets / ncp / cluster / bench
+    subcommands over the facade, each writing a JSON run manifest.
 ``repro.dynamics``
     The unified dynamics registry: ``PPR`` / ``HeatKernel`` / ``LazyWalk``
     specs, ``DiffusionGrid``, ``DynamicsKind`` entries, alias table.
@@ -45,7 +48,9 @@ True
 from repro import core, datasets, diffusion, dynamics, graph, linalg, ncp
 from repro import partition, regularization
 from repro import api
+from repro import cli
 from repro.core.framework import canonical_dynamics, verify_paper_theorem
+from repro.datasets.suite import UnknownGraphError, load_any_graph
 from repro.diffusion.engine import (
     BatchPushResult,
     batch_ppr_push,
@@ -77,7 +82,7 @@ from repro.ncp.profile import cluster_ensemble_ncp
 from repro.ncp.runner import run_ncp_ensemble
 from repro.partition.local import local_cluster
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchPushResult",
@@ -97,10 +102,12 @@ __all__ = [
     "PartitionError",
     "ReproError",
     "UnknownDynamicsError",
+    "UnknownGraphError",
     "__version__",
     "api",
     "batch_ppr_push",
     "canonical_dynamics",
+    "cli",
     "cluster_ensemble_ncp",
     "core",
     "datasets",
@@ -110,6 +117,7 @@ __all__ = [
     "get_dynamics",
     "graph",
     "linalg",
+    "load_any_graph",
     "local_cluster",
     "ncp",
     "partition",

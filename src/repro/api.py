@@ -12,8 +12,15 @@ vocabulary:
   :func:`flow_cluster_ensemble_ncp`, :func:`best_per_size_bucket`,
   :func:`figure1_comparison`, :func:`run_multidynamics_ncp`.
 * **Local clustering** — :func:`local_cluster` (single-point specs).
+* **Graphs by name** — :func:`load_graph` / :func:`suite_names` (the
+  named suite) and :func:`load_any_graph` (suite name *or* external
+  edge-list/JSON file; :class:`UnknownGraphError` on neither).
 * **Verification** — :func:`verify_paper_theorem` (Section 3.1,
   numerically).
+
+The same vocabulary is scriptable without Python: ``python -m repro``
+(:mod:`repro.cli`) exposes the suite, the NCP runner, the local driver,
+and the engine benchmark as subcommands that write JSON run manifests.
 
 Quickstart::
 
@@ -32,6 +39,12 @@ from __future__ import annotations
 
 from repro.core.experiments import run_multidynamics_ncp
 from repro.core.framework import verify_paper_theorem
+from repro.datasets.suite import (
+    UnknownGraphError,
+    load_any_graph,
+    load_graph,
+    suite_names,
+)
 from repro.dynamics import (
     ApproximateComputation,
     DiffusionGrid,
@@ -71,6 +84,7 @@ __all__ = [
     "NCPRunResult",
     "PPR",
     "UnknownDynamicsError",
+    "UnknownGraphError",
     "as_diffusion_grid",
     "best_per_size_bucket",
     "canonical_dynamics",
@@ -78,11 +92,14 @@ __all__ = [
     "figure1_comparison",
     "flow_cluster_ensemble_ncp",
     "get_dynamics",
+    "load_any_graph",
+    "load_graph",
     "local_cluster",
     "register_dynamics",
     "registered_dynamics",
     "run_multidynamics_ncp",
     "run_ncp_ensemble",
+    "suite_names",
     "unregister_dynamics",
     "verify_paper_theorem",
 ]

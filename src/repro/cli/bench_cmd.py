@@ -1,0 +1,191 @@
+"""``repro bench`` — the registry-driven engine benchmark (E12b).
+
+Times every registered dynamics' full diffusion grid twice through the
+same ``spec.iter_columns`` entry point the NCP pipeline uses — once on
+the batched/vectorized engine, once on the scalar parity oracle — and
+writes ``BENCH_engine.json`` (one section per dynamics) plus a run
+manifest into ``--out``.  Because dispatch goes through the registry, a
+newly registered dynamics benchmarks itself with no changes here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.cli import manifest as manifest_mod
+from repro.cli._common import (
+    Stopwatch,
+    add_graph_arguments,
+    ensure_out_dir,
+    parse_float_list,
+    resolve_graph,
+)
+from repro.core.reporting import format_table
+from repro.dynamics import registered_dynamics
+from repro.ncp.profile import _sample_seed_nodes
+
+BENCH_NAME = "BENCH_engine.json"
+
+
+def configure_parser(subparsers):
+    """Register the ``bench`` subcommand on the CLI parser."""
+    parser = subparsers.add_parser(
+        "bench",
+        help="benchmark every registered dynamics' batched engine",
+        description=(
+            "Benchmark the batched diffusion engines against their "
+            "scalar parity oracles: every registered dynamics' default "
+            "grid is drained through spec.iter_columns on both engines "
+            "and the speedups are written to BENCH_engine.json "
+            "(+ manifest.json) in --out."
+        ),
+    )
+    add_graph_arguments(parser, default="atp")
+    parser.add_argument(
+        "--num-seeds",
+        type=int,
+        default=10,
+        metavar="N",
+        help="seed nodes per dynamics, sampled by degree (default: 10)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed for seed-node sampling (default: 0)",
+    )
+    parser.add_argument(
+        "--epsilons",
+        default="1e-3,1e-4",
+        metavar="E1,E2",
+        help="truncation epsilons for every grid (default: 1e-3,1e-4)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        metavar="R",
+        help="timing rounds per engine; the best round is reported "
+             "(default: 1)",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="output directory for BENCH_engine.json and manifest.json "
+             "(default: current directory)",
+    )
+    parser.set_defaults(run=run)
+    return parser
+
+
+def _time_columns(graph, spec, seed_nodes, epsilons, engine, rounds):
+    """Best-of-``rounds`` wall time to drain one spec's diffusion grid."""
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        for _column in spec.iter_columns(
+            graph, seed_nodes, epsilons=epsilons, engine=engine
+        ):
+            pass
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(args):
+    """Execute ``repro bench`` (see :func:`configure_parser`)."""
+    watch = Stopwatch()
+    graph, record = resolve_graph(args)
+    epsilons = parse_float_list(args.epsilons, name="--epsilons")
+    rng = np.random.default_rng(args.seed)
+    seed_nodes = [
+        int(u) for u in _sample_seed_nodes(graph, args.num_seeds, rng)
+    ]
+
+    print(
+        f"bench: graph={args.graph} (n={graph.num_nodes}, "
+        f"m={graph.num_edges}) seeds={len(seed_nodes)} "
+        f"epsilons={list(epsilons)}"
+    )
+    sections = {}
+    rows = []
+    for key in sorted(registered_dynamics()):
+        kind = registered_dynamics()[key]
+        spec = kind.default_spec()
+        scalar = _time_columns(
+            graph, spec, seed_nodes, epsilons, "scalar", args.rounds
+        )
+        batched = _time_columns(
+            graph, spec, seed_nodes, epsilons, "batched", args.rounds
+        )
+        columns = spec.grid_size(epsilons) * len(seed_nodes)
+        sections[key] = {
+            "spec": repr(spec),
+            "num_columns": int(columns),
+            "scalar_seconds": scalar,
+            "batched_seconds": batched,
+            "speedup": scalar / batched if batched > 0 else float("inf"),
+        }
+        axes = ", ".join(
+            f"{len(values)} {axis}"
+            for axis, values in spec.grid_axes().items()
+        )
+        rows.append([
+            f"{key} ({axes} x {len(epsilons)} eps)",
+            scalar,
+            batched,
+            f"{sections[key]['speedup']:.1f}x",
+        ])
+    print()
+    print(format_table(
+        ["dynamics", "scalar s", "batched s", "speedup"],
+        rows,
+        title="E12b: registry-driven engines, batched vs scalar oracle",
+    ))
+
+    out = ensure_out_dir(args.out)
+    report = {
+        "graph": record["source"],
+        "num_nodes": record["num_nodes"],
+        "num_edges": record["num_edges"],
+        "num_seeds": len(seed_nodes),
+        "epsilons": list(epsilons),
+        "rounds": int(args.rounds),
+        "dynamics": sections,
+    }
+    bench_path = out / BENCH_NAME
+    bench_path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    built = manifest_mod.build_manifest(
+        "bench",
+        arguments={
+            "graph": args.graph,
+            "graph_seed": args.graph_seed,
+            "num_seeds": args.num_seeds,
+            "seed": args.seed,
+            "epsilons": list(epsilons),
+            "rounds": args.rounds,
+        },
+        replay_argv=[
+            "bench",
+            "--graph", args.graph,
+            "--graph-seed", str(args.graph_seed),
+            "--num-seeds", str(args.num_seeds),
+            "--seed", str(args.seed),
+            "--epsilons", args.epsilons,
+            "--rounds", str(args.rounds),
+        ],
+        graph=record,
+        outputs=[BENCH_NAME],
+        wall_seconds=watch.elapsed(),
+    )
+    manifest_path = manifest_mod.write_manifest(out, built)
+    print()
+    print(f"wrote {bench_path}, {manifest_path}")
+    return 0

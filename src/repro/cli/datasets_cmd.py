@@ -1,0 +1,132 @@
+"""``repro datasets`` — list, describe, and export the named graph suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cli import manifest as manifest_mod
+from repro.cli._common import Stopwatch, ensure_out_dir
+from repro.core.reporting import format_markdown_table, format_table
+from repro.datasets.suite import describe, load_graph, suite_names
+from repro.exceptions import InvalidParameterError
+from repro.graph.io import write_edge_list
+
+
+def configure_parser(subparsers):
+    """Register the ``datasets`` subcommand on the CLI parser."""
+    parser = subparsers.add_parser(
+        "datasets",
+        help="list, describe, or export the named suite graphs",
+        description=(
+            "List the named graph suite (every graph reachable by name "
+            "from --graph), describe one graph's role in the paper's "
+            "story, or export a suite graph to an edge-list file that "
+            "any --graph option accepts back."
+        ),
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the listing as a GitHub-flavored markdown table "
+             "(the README's dataset table is generated this way)",
+    )
+    mode.add_argument(
+        "--describe",
+        metavar="NAME",
+        default=None,
+        help="print one suite graph's role and statistics",
+    )
+    mode.add_argument(
+        "--export",
+        metavar="NAME",
+        default=None,
+        help="write a suite graph as an edge-list file (see --out)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output path for --export (default: <name>.tsv in the "
+             "current directory); a run manifest is written next to it",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="generator seed for randomized suite graphs (default: 0)",
+    )
+    parser.set_defaults(run=run)
+    return parser
+
+
+def _rows(seed):
+    rows = []
+    for name in suite_names():
+        graph = load_graph(name, seed=seed)
+        rows.append([name, graph.num_nodes, graph.num_edges, describe(name)])
+    return rows
+
+
+def _run_export(args):
+    watch = Stopwatch()
+    graph = load_graph(args.export, seed=args.seed)
+    out = Path(args.out) if args.out else Path(f"{args.export}.tsv")
+    ensure_out_dir(out.parent)
+    write_edge_list(graph, out)
+    record = manifest_mod.graph_record(
+        graph, source=args.export, graph_seed=args.seed
+    )
+    built = manifest_mod.build_manifest(
+        "datasets",
+        arguments={"export": args.export, "seed": args.seed,
+                   "out": str(out)},
+        replay_argv=["datasets", "--export", args.export,
+                     "--seed", str(args.seed)],
+        graph=record,
+        outputs=[out.name],
+        wall_seconds=watch.elapsed(),
+    )
+    # Named after the exported file: an export into a directory that
+    # already holds another run's manifest.json must not clobber it.
+    manifest_path = manifest_mod.write_manifest(
+        out.parent, built, name=f"{out.name}.manifest.json"
+    )
+    print(f"exported {args.export} ({graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges) -> {out}")
+    print(f"wrote {manifest_path}")
+    return 0
+
+
+def run(args):
+    """Execute ``repro datasets`` (see :func:`configure_parser`)."""
+    if args.out is not None and not args.export:
+        raise InvalidParameterError(
+            "--out only applies to --export; nothing would be written"
+        )
+    if args.export:
+        return _run_export(args)
+    if args.describe:
+        name = args.describe
+        role = describe(name)  # raises UnknownGraphError with a hint
+        graph = load_graph(name, seed=args.seed)
+        print(format_table(
+            ["field", "value"],
+            [["name", name],
+             ["role", role],
+             ["nodes", graph.num_nodes],
+             ["edges", graph.num_edges],
+             ["volume", float(graph.total_volume)],
+             ["connected", bool(graph.is_connected())]],
+            title=f"suite graph {name!r}",
+        ))
+        return 0
+    headers = ["name", "nodes", "edges", "role"]
+    rows = _rows(args.seed)
+    if args.markdown:
+        print(format_markdown_table(headers, rows, align="lrrl"))
+    else:
+        print(format_table(headers, rows,
+                           title=f"graph suite (seed={args.seed})"))
+    return 0

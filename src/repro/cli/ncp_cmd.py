@@ -1,0 +1,265 @@
+"""``repro ncp`` — sharded NCP candidate ensembles from the command line.
+
+One command runs :func:`repro.ncp.runner.run_ncp_ensemble` for any list
+of registered dynamics on any suite graph or external edge-list file,
+writing three artifacts into ``--out``:
+
+* ``candidates.csv`` — the merged candidate ensemble, one row per
+  candidate (dynamics, method label, size, conductance, node ids).  The
+  runner's determinism guarantee makes this file byte-identical for any
+  ``--workers`` value.
+* ``profile.txt`` — the log-bucketed best-conductance NCP profile per
+  dynamics (also printed).
+* ``manifest.json`` — the run manifest; replaying its ``replay_argv``
+  (with any worker count) reproduces ``candidates.csv`` byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cli import manifest as manifest_mod
+from repro.cli._common import (
+    Stopwatch,
+    add_graph_arguments,
+    ensure_out_dir,
+    parse_float_list,
+    resolve_graph,
+)
+from repro.cli.specs import parse_dynamics_list
+from repro.core.reporting import format_table
+from repro.exceptions import PartitionError
+from repro.ncp.profile import best_per_size_bucket
+from repro.ncp.runner import run_ncp_ensemble
+
+CANDIDATES_NAME = "candidates.csv"
+PROFILE_NAME = "profile.txt"
+
+
+def configure_parser(subparsers):
+    """Register the ``ncp`` subcommand on the CLI parser."""
+    parser = subparsers.add_parser(
+        "ncp",
+        help="run a sharded NCP candidate ensemble (any dynamics grid)",
+        description=(
+            "Run the network-community-profile candidate ensemble for "
+            "one or more registered dynamics through the process-"
+            "parallel, disk-memoized runner.  Writes candidates.csv + "
+            "profile.txt + manifest.json into --out; the candidate file "
+            "is byte-identical for any --workers value."
+        ),
+    )
+    add_graph_arguments(parser)
+    parser.add_argument(
+        "--dynamics",
+        default="ppr",
+        metavar="SPECS",
+        help="comma-separated dynamics spec strings, e.g. 'ppr,hk,walk' "
+             "or 'ppr:alpha=0.05/0.15,eps=1e-4,hk:t=5' (default: ppr)",
+    )
+    parser.add_argument(
+        "--num-seeds",
+        type=int,
+        default=40,
+        metavar="N",
+        help="seed nodes sampled by degree per dynamics (default: 40)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed for seed-node sampling (default: 0)",
+    )
+    parser.add_argument(
+        "--epsilons",
+        default=None,
+        metavar="E1,E2",
+        help="truncation epsilons applied to every dynamics without its "
+             "own eps=... override (default: each spec's defaults)",
+    )
+    parser.add_argument(
+        "--max-cluster-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="sweep-prefix size cap (default: n // 2)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("batched", "scalar"),
+        default="batched",
+        help="batched vectorized engines or the scalar parity oracles "
+             "(default: batched)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="W",
+        help="worker processes for chunk evaluation; 0 = in-process "
+             "serial (default: 0). The ensemble is identical either way.",
+    )
+    parser.add_argument(
+        "--seeds-per-chunk",
+        type=int,
+        default=8,
+        metavar="S",
+        help="seeds per shard (cache-key granularity; default: 8)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk chunk memo directory (default: caching disabled)",
+    )
+    parser.add_argument(
+        "--buckets",
+        type=int,
+        default=12,
+        metavar="B",
+        help="size buckets in the printed NCP profile (default: 12)",
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory for candidates.csv, profile.txt, and "
+             "manifest.json (created if missing)",
+    )
+    parser.set_defaults(run=run)
+    return parser
+
+
+def _candidate_lines(runs):
+    """Deterministic CSV lines for the merged ensembles, header first."""
+    lines = ["dynamics,method,size,conductance,nodes"]
+    for run_result in runs:
+        for candidate in run_result.candidates:
+            nodes = " ".join(str(int(u)) for u in candidate.nodes)
+            lines.append(
+                f"{run_result.dynamics},{candidate.method},"
+                f"{candidate.size},{candidate.conductance!r},{nodes}"
+            )
+    return lines
+
+
+def _profile_text(run_result, num_buckets):
+    """Render one run's NCP profile as an aligned table (or a note)."""
+    title = (
+        f"NCP profile: dynamics={run_result.dynamics} "
+        f"candidates={len(run_result.candidates)} "
+        f"chunks={run_result.num_chunks} cache_hits={run_result.cache_hits}"
+    )
+    try:
+        profile = best_per_size_bucket(
+            run_result.candidates, num_buckets=num_buckets
+        )
+    except PartitionError as exc:
+        return f"{title}\n  (no profile: {exc})"
+    rows = []
+    edges = profile.bucket_edges
+    for i, phi in enumerate(profile.best_conductance):
+        representative = profile.representatives[i]
+        rows.append([
+            f"[{edges[i]:.0f}, {edges[i + 1]:.0f})",
+            float(phi) if np.isfinite(phi) else float("nan"),
+            representative.size if representative is not None else "--",
+        ])
+    return format_table(
+        ["size bucket", "best conductance", "best size"], rows, title=title
+    )
+
+
+def _replay_argv(args):
+    argv = [
+        "ncp",
+        "--graph", args.graph,
+        "--graph-seed", str(args.graph_seed),
+        "--dynamics", args.dynamics,
+        "--num-seeds", str(args.num_seeds),
+        "--seed", str(args.seed),
+        "--engine", args.engine,
+        "--seeds-per-chunk", str(args.seeds_per_chunk),
+        "--buckets", str(args.buckets),
+    ]
+    if args.epsilons is not None:
+        argv += ["--epsilons", args.epsilons]
+    if args.max_cluster_size is not None:
+        argv += ["--max-cluster-size", str(args.max_cluster_size)]
+    return argv
+
+
+def run(args):
+    """Execute ``repro ncp`` (see :func:`configure_parser`)."""
+    watch = Stopwatch()
+    graph, record = resolve_graph(args)
+    requests = parse_dynamics_list(args.dynamics)
+    shared_epsilons = (
+        parse_float_list(args.epsilons, name="--epsilons")
+        if args.epsilons is not None else None
+    )
+    out = ensure_out_dir(args.out)
+
+    print(
+        f"ncp: graph={args.graph} (n={graph.num_nodes}, "
+        f"m={graph.num_edges}) dynamics="
+        f"{','.join(r.key for r in requests)} workers={args.workers}"
+    )
+    runs = []
+    for request in requests:
+        grid = request.grid(
+            epsilons=shared_epsilons,
+            num_seeds=args.num_seeds,
+            seed=args.seed,
+            max_cluster_size=args.max_cluster_size,
+            engine=args.engine,
+        )
+        runs.append(run_ncp_ensemble(
+            graph,
+            grid,
+            num_workers=args.workers,
+            seeds_per_chunk=args.seeds_per_chunk,
+            cache_dir=args.cache_dir,
+        ))
+
+    candidates_path = out / CANDIDATES_NAME
+    candidates_path.write_text(
+        "\n".join(_candidate_lines(runs)) + "\n", encoding="utf-8"
+    )
+    profile_blocks = [_profile_text(r, args.buckets) for r in runs]
+    profile_path = out / PROFILE_NAME
+    profile_path.write_text(
+        "\n\n".join(profile_blocks) + "\n", encoding="utf-8"
+    )
+    print()
+    print("\n\n".join(profile_blocks))
+
+    built = manifest_mod.build_manifest(
+        "ncp",
+        arguments={
+            "graph": args.graph,
+            "graph_seed": args.graph_seed,
+            "dynamics": args.dynamics,
+            "num_seeds": args.num_seeds,
+            "seed": args.seed,
+            "epsilons": shared_epsilons,
+            "max_cluster_size": args.max_cluster_size,
+            "engine": args.engine,
+            "workers": args.workers,
+            "seeds_per_chunk": args.seeds_per_chunk,
+            "cache_dir": args.cache_dir,
+            "buckets": args.buckets,
+        },
+        replay_argv=_replay_argv(args),
+        graph=record,
+        outputs=[CANDIDATES_NAME, PROFILE_NAME],
+        wall_seconds=watch.elapsed(),
+        runs=[r.manifest() for r in runs],
+    )
+    manifest_path = manifest_mod.write_manifest(out, built)
+    print()
+    total = sum(len(r.candidates) for r in runs)
+    print(f"wrote {candidates_path} ({total} candidates), {profile_path}, "
+          f"{manifest_path}")
+    return 0

@@ -1,0 +1,192 @@
+"""Spec-string parsing: ``--dynamics ppr:alpha=0.1,eps=1e-4`` and friends.
+
+The CLI addresses the dynamics registry with compact spec strings so a
+whole workload fits on one command line:
+
+* ``ppr`` — a bare registered name or alias (``pagerank``, ``acl``, ...)
+  selects that dynamics with its default axes;
+* ``ppr:alpha=0.1`` — ``name:key=value`` pairs override spec fields; the
+  valid keys are exactly the spec dataclass's fields (``alpha`` for PPR,
+  ``t`` for the heat kernel, ``steps``/``walk_alpha`` for the lazy walk
+  — and whatever fields a newly registered dynamics declares);
+* ``alpha=0.05/0.15`` — ``/``-separated values give a multi-point axis;
+* ``eps=1e-4`` (aliases ``epsilon``, ``epsilons``) sets the truncation
+  epsilons of the enclosing :class:`~repro.dynamics.DiffusionGrid` rather
+  than a spec field;
+* ``ppr:alpha=0.1,hk:t=5,walk`` — commas separate both parameters and
+  specs: a token containing ``:`` (or a bare name) starts a new spec, a
+  ``key=value`` token extends the one before it.
+
+Parsing resolves names through :func:`repro.dynamics.get_dynamics`, so
+alias spellings and registered extension dynamics work unchanged, and an
+unknown name fails with the registry's own did-you-mean-style error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+
+from repro.dynamics import DiffusionGrid, get_dynamics
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["DynamicsRequest", "parse_dynamics_list", "parse_dynamics_spec"]
+
+# Keys routed to the grid's epsilon axis instead of a spec field.
+_EPSILON_KEYS = ("eps", "epsilon", "epsilons")
+
+_INT_RE = re.compile(r"[+-]?\d+")
+
+
+def _parse_number(text, *, context):
+    """Parse one numeric literal (int preferred, float otherwise)."""
+    token = text.strip()
+    if _INT_RE.fullmatch(token):
+        return int(token)
+    try:
+        return float(token)
+    except ValueError:
+        raise InvalidParameterError(
+            f"{context}: expected a number, got {text!r}"
+        ) from None
+
+
+def _parse_value(text, *, context):
+    """Parse a scalar or a ``/``-separated axis of numeric values."""
+    parts = [p for p in str(text).split("/") if p.strip()]
+    if not parts:
+        raise InvalidParameterError(f"{context}: empty value")
+    values = tuple(_parse_number(p, context=context) for p in parts)
+    return values[0] if len(values) == 1 else values
+
+
+@dataclass
+class DynamicsRequest:
+    """One parsed ``--dynamics`` entry: a registry kind plus overrides.
+
+    Attributes
+    ----------
+    kind:
+        The resolved :class:`~repro.dynamics.DynamicsKind`.
+    params:
+        Spec-field overrides parsed from the string (empty for a bare
+        name, which means "use the registered defaults").
+    epsilons:
+        Grid epsilons parsed from ``eps=...`` (``None`` = spec defaults).
+    raw:
+        The original spec-string token, recorded verbatim in manifests.
+    """
+
+    kind: object
+    params: dict
+    epsilons: tuple
+    raw: str
+
+    @property
+    def key(self):
+        """Canonical registry name of the requested dynamics."""
+        return self.kind.key
+
+    def spec(self):
+        """The frozen spec instance: overrides applied to the spec type."""
+        return self.kind.spec_type(**self.params)
+
+    def local_spec(self, graph=None):
+        """Single-point spec for the seed → cluster driver.
+
+        A bare name resolves to the dynamics' registered default local
+        point (e.g. the walk's step count depends on the graph size);
+        explicit parameters are honored as given.
+        """
+        if not self.params:
+            return self.kind.local_spec(graph)
+        return self.spec()
+
+    def grid(self, *, epsilons=None, **overrides):
+        """Build the :class:`~repro.dynamics.DiffusionGrid` for this entry.
+
+        Per-spec ``eps=...`` overrides win over the caller's ``epsilons``
+        (the CLI-level ``--epsilons`` default).
+        """
+        resolved = self.epsilons if self.epsilons is not None else epsilons
+        return DiffusionGrid(self.spec(), epsilons=resolved, **overrides)
+
+
+def _build_request(name, pairs, raw):
+    kind = get_dynamics(name)  # UnknownDynamicsError lists names + aliases
+    fields = {f.name for f in dataclasses.fields(kind.spec_type)}
+    params, epsilons = {}, None
+    for key, value in pairs:
+        key = key.strip().lower()
+        context = f"--dynamics {raw!r}: {key}"
+        if key in _EPSILON_KEYS:
+            parsed = _parse_value(value, context=context)
+            epsilons = parsed if isinstance(parsed, tuple) else (parsed,)
+        elif key in fields:
+            params[key] = _parse_value(value, context=context)
+        else:
+            raise InvalidParameterError(
+                f"--dynamics {raw!r}: unknown parameter {key!r} for "
+                f"{kind.key!r}; expected one of {sorted(fields)} or "
+                f"eps=..."
+            )
+    return DynamicsRequest(kind=kind, params=params, epsilons=epsilons,
+                           raw=raw)
+
+
+def parse_dynamics_list(text):
+    """Parse a full ``--dynamics`` value into :class:`DynamicsRequest`\\ s.
+
+    ``"ppr,hk,walk"`` gives three default-axis requests;
+    ``"ppr:alpha=0.1,eps=1e-4"`` one request with overrides; mixtures
+    like ``"ppr:alpha=0.1,hk"`` work because a ``key=value`` token binds
+    to the most recent spec while any other token starts a new one.
+    """
+    groups = []  # [name, [(key, value), ...], raw_tokens]
+    for token in str(text).split(","):
+        token = token.strip()
+        if not token:
+            continue
+        head, sep, tail = token.partition(":")
+        if sep:
+            group = [head.strip(), [], [token]]
+            groups.append(group)
+            if tail.strip():
+                key, eq, value = tail.partition("=")
+                if not eq:
+                    raise InvalidParameterError(
+                        f"--dynamics: expected key=value after ':' in "
+                        f"{token!r}"
+                    )
+                group[1].append((key, value))
+        elif "=" in token:
+            if not groups:
+                raise InvalidParameterError(
+                    f"--dynamics: parameter {token!r} appears before any "
+                    f"dynamics name (write name:key=value)"
+                )
+            key, _, value = token.partition("=")
+            groups[-1][1].append((key, value))
+            groups[-1][2].append(token)
+        else:
+            groups.append([token, [], [token]])
+    if not groups:
+        raise InvalidParameterError(
+            "--dynamics: expected at least one dynamics name"
+        )
+    return [
+        _build_request(name, pairs, ",".join(raw_tokens))
+        for name, pairs, raw_tokens in groups
+    ]
+
+
+def parse_dynamics_spec(text):
+    """Parse a ``--dynamics`` value that must name exactly one dynamics."""
+    requests = parse_dynamics_list(text)
+    if len(requests) != 1:
+        raise InvalidParameterError(
+            f"expected exactly one dynamics, got "
+            f"{[r.key for r in requests]} from {text!r}"
+        )
+    return requests[0]

@@ -19,10 +19,12 @@ from repro.core.framework import (
 )
 from repro.core.reporting import (
     format_comparison_verdict,
+    format_markdown_table,
     format_series,
     format_table,
     format_value,
     geometric_midpoints,
+    jsonable,
 )
 
 __all__ = [
@@ -33,11 +35,13 @@ __all__ = [
     "UnknownDynamicsError",
     "canonical_dynamics",
     "format_comparison_verdict",
+    "format_markdown_table",
     "format_series",
     "format_table",
     "format_value",
     "geometric_midpoints",
     "get_dynamics",
+    "jsonable",
     "records_table",
     "registered_dynamics",
     "run_multidynamics_ncp",

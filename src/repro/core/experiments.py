@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.reporting import format_table
+from repro.core.reporting import format_table, jsonable
 
 
 @dataclass
@@ -58,7 +58,7 @@ class ExperimentRecord:
 
     def to_json(self):
         return json.dumps(
-            {
+            jsonable({
                 "experiment_id": self.experiment_id,
                 "paper_artifact": self.paper_artifact,
                 "workload": self.workload,
@@ -67,22 +67,34 @@ class ExperimentRecord:
                 "shape_matches": self.shape_matches,
                 "details": self.details,
                 "seconds": self.seconds,
-            },
+            }),
             indent=2,
-            default=str,
         )
 
 
 class Stopwatch:
-    """Context manager measuring wall time into ``.seconds``."""
+    """Wall-time stopwatch.
+
+    Works as a context manager (``.seconds`` is set on exit) and as a
+    plain timer: construction starts the clock and :meth:`elapsed`
+    reads it at any point (the CLI manifests use the latter).
+    """
+
+    def __init__(self):
+        self._start = time.perf_counter()
+        self.seconds = 0.0
 
     def __enter__(self):
         self._start = time.perf_counter()
         self.seconds = 0.0
         return self
 
+    def elapsed(self):
+        """Wall seconds since construction (or context entry)."""
+        return time.perf_counter() - self._start
+
     def __exit__(self, *exc_info):
-        self.seconds = time.perf_counter() - self._start
+        self.seconds = self.elapsed()
         return False
 
 

@@ -1,6 +1,13 @@
 """Synthetic datasets: the AtP-DBLP stand-in and the named graph suite."""
 
-from repro.datasets.suite import describe, load_graph, load_suite, suite_names
+from repro.datasets.suite import (
+    UnknownGraphError,
+    describe,
+    load_any_graph,
+    load_graph,
+    load_suite,
+    suite_names,
+)
 from repro.datasets.synthetic_dblp import (
     AtPDataset,
     attach_whisker_chains,
@@ -10,8 +17,10 @@ from repro.datasets.synthetic_dblp import (
 
 __all__ = [
     "AtPDataset",
+    "UnknownGraphError",
     "attach_whisker_chains",
     "describe",
+    "load_any_graph",
     "load_graph",
     "load_suite",
     "suite_names",

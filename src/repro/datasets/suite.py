@@ -9,7 +9,12 @@ workload reproducible by name.
 
 from __future__ import annotations
 
+import difflib
+import warnings
+from pathlib import Path
+
 from repro.datasets.synthetic_dblp import synthetic_atp_dblp
+from repro.exceptions import InvalidParameterError
 from repro.graph.generators import (
     barbell_graph,
     grid_graph,
@@ -22,6 +27,30 @@ from repro.graph.random_generators import (
     random_regular_graph,
     whiskered_expander,
 )
+
+
+class UnknownGraphError(InvalidParameterError, KeyError):
+    """Raised for a graph name that is not in the suite (nor a file).
+
+    Mirrors :class:`~repro.dynamics.UnknownDynamicsError`: inherits both
+    :class:`~repro.exceptions.InvalidParameterError` (hence ``ValueError``)
+    and ``KeyError``, so callers that historically caught either style of
+    lookup failure keep working.  The message carries a did-you-mean
+    suggestion when a suite name is a close match.
+    """
+
+    __str__ = Exception.__str__
+
+
+def _unknown_graph(name, *, extra=""):
+    """Build the :class:`UnknownGraphError` with a did-you-mean hint."""
+    close = difflib.get_close_matches(
+        str(name).strip().lower(), suite_names(), n=3, cutoff=0.5
+    )
+    hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+    return UnknownGraphError(
+        f"unknown suite graph {name!r}; choose from {suite_names()}{extra}{hint}"
+    )
 
 
 def _atp(seed):
@@ -73,7 +102,7 @@ def suite_names():
 def load_graph(name, seed=0):
     """Build a suite graph by name (largest component, deterministic)."""
     if name not in _SUITE:
-        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
+        raise _unknown_graph(name)
     builder, _role = _SUITE[name]
     graph = builder(seed)
     if not graph.is_connected():
@@ -84,8 +113,71 @@ def load_graph(name, seed=0):
 def describe(name):
     """Human-readable role of a suite graph."""
     if name not in _SUITE:
-        raise KeyError(f"unknown suite graph {name!r}; see suite_names()")
+        raise _unknown_graph(name)
     return _SUITE[name][1]
+
+
+def load_any_graph(source, *, seed=0):
+    """Load a graph from a suite name *or* an external graph file.
+
+    The bridge between the named suite and :mod:`repro.graph.io`, so every
+    workload entry point (notably the ``python -m repro`` CLI) accepts
+    arbitrary user-supplied graphs with the same one-argument vocabulary:
+
+    * a suite name (``"atp"``, ``"barbell"``, ...) builds that suite graph
+      via :func:`load_graph` (``seed`` feeds the generator);
+    * a path to an existing ``.json`` file reads
+      :func:`repro.graph.io.read_json` output;
+    * any other existing path is parsed as an edge-list text file
+      (``u<TAB>v[<TAB>weight]``, ``#`` comments) via
+      :func:`repro.graph.io.read_edge_list`.
+
+    External graphs get the same normalization the suite applies: if the
+    file's graph is disconnected, the largest connected component is
+    returned.  Because the component's nodes are **relabeled** to a
+    compact ``0..n-1`` range, any node ids from the original file (e.g.
+    explicit ``repro cluster --seeds`` ids) no longer apply; a
+    ``UserWarning`` reporting the dropped node count flags this loudly
+    instead of letting ids shift silently.
+
+    Raises
+    ------
+    UnknownGraphError
+        If ``source`` is neither a suite name nor an existing file.  The
+        message distinguishes a path that looks like a file but does not
+        exist from a misspelled suite name (which gets a did-you-mean
+        suggestion).
+    """
+    name = str(source)
+    if name in _SUITE:
+        return load_graph(name, seed=seed)
+    path = Path(name)
+    if path.is_file():
+        from repro.graph.io import read_edge_list, read_json
+
+        reader = read_json if path.suffix.lower() == ".json" else read_edge_list
+        graph = reader(path)
+        if not graph.is_connected():
+            full_size = graph.num_nodes
+            graph, _original_ids = graph.largest_component()
+            warnings.warn(
+                f"graph file {name!r} is disconnected: kept the largest "
+                f"component ({graph.num_nodes} of {full_size} nodes) and "
+                f"relabeled its nodes to 0..{graph.num_nodes - 1}; node "
+                f"ids from the file (e.g. --seeds) no longer apply",
+                UserWarning,
+                stacklevel=2,
+            )
+        return graph
+    looks_like_path = path.suffix != "" or any(
+        sep in name for sep in ("/", "\\")
+    )
+    if looks_like_path:
+        raise UnknownGraphError(
+            f"graph file {name!r} does not exist (and it is not a suite "
+            f"name; those are {suite_names()})"
+        )
+    raise _unknown_graph(name, extra=" or pass a path to an edge-list file")
 
 
 def load_suite(seed=0, *, names=None):

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from repro._validation import as_rng, check_int
+from repro.core.reporting import jsonable
 from repro.dynamics import (
     DiffusionGrid,
     as_diffusion_grid,
@@ -128,6 +130,12 @@ class NCPRunResult:
         Worker processes used (0 means in-process serial execution).
     grid:
         The resolved :class:`~repro.dynamics.DiffusionGrid` that was run.
+    fingerprint:
+        :func:`graph_fingerprint` of the graph the ensemble ran on.
+    seed_nodes:
+        The sampled seed nodes, in grid order.
+    wall_seconds:
+        Wall-clock time of the run (diffusions + sweeps + cache traffic).
     """
 
     candidates: list = field(repr=False, default_factory=list)
@@ -136,6 +144,47 @@ class NCPRunResult:
     cache_hits: int = 0
     num_workers: int = 0
     grid: object = field(repr=False, default=None)
+    fingerprint: str = ""
+    seed_nodes: tuple = ()
+    wall_seconds: float = 0.0
+
+    def manifest(self):
+        """JSON-able replay record of this run (the CLI's manifest body).
+
+        Everything needed to reproduce the candidate ensemble byte for
+        byte — the resolved grid (dynamics axes, epsilons, seed-sampling
+        plan, engine), the graph fingerprint scoping the result to the
+        exact CSR arrays, and the execution facts (workers, chunks, cache
+        hits, wall time) that are allowed to vary between identical
+        reruns.  ``grid.seed`` is recorded only when it is a plain integer
+        or ``None``; a live RNG object is not replayable and is recorded
+        as ``"seed": null`` with ``"seed_is_replayable": false``.
+        """
+        grid = self.grid
+        seed = grid.seed
+        replayable = seed is None or isinstance(seed, (int, np.integer))
+        return {
+            "dynamics": self.dynamics,
+            "grid": {
+                "params": jsonable(dict(grid.dynamics.grid_params())),
+                "epsilons": [float(e) for e in grid.resolved_epsilons()],
+                "num_seeds": int(grid.num_seeds),
+                "seed": int(seed) if replayable and seed is not None else None,
+                "seed_is_replayable": bool(replayable),
+                "max_cluster_size": (
+                    None if grid.max_cluster_size is None
+                    else int(grid.max_cluster_size)
+                ),
+                "engine": grid.engine,
+            },
+            "graph_fingerprint": self.fingerprint,
+            "seed_nodes": [int(s) for s in self.seed_nodes],
+            "num_candidates": len(self.candidates),
+            "num_chunks": int(self.num_chunks),
+            "cache_hits": int(self.cache_hits),
+            "num_workers": int(self.num_workers),
+            "wall_seconds": float(self.wall_seconds),
+        }
 
 
 def graph_fingerprint(graph):
@@ -364,6 +413,7 @@ max_cluster_size, seed:
             )
         grid = as_diffusion_grid(grid)
     num_workers = check_int(num_workers, "num_workers", minimum=0)
+    start_time = time.perf_counter()
 
     rng = as_rng(grid.seed)
     seed_nodes = _sample_seed_nodes(graph, grid.num_seeds, rng)
@@ -373,12 +423,12 @@ max_cluster_size, seed:
         seeds_per_chunk=seeds_per_chunk, engine=grid.engine,
     )
 
+    # Always fingerprint: the manifest hook needs it even without a cache.
+    fingerprint = graph_fingerprint(graph)
     cache_path = None
-    fingerprint = None
     if cache_dir is not None:
         cache_path = Path(cache_dir)
         cache_path.mkdir(parents=True, exist_ok=True)
-        fingerprint = graph_fingerprint(graph)
 
     per_chunk = [None] * len(chunks)
     cache_hits = 0
@@ -428,4 +478,7 @@ max_cluster_size, seed:
         cache_hits=cache_hits,
         num_workers=num_workers,
         grid=grid,
+        fingerprint=fingerprint,
+        seed_nodes=tuple(int(s) for s in seed_nodes),
+        wall_seconds=time.perf_counter() - start_time,
     )

@@ -218,6 +218,42 @@ class TestReporting:
         )
         assert "spectral" in text and "flow" in text
 
+    def test_format_markdown_table(self):
+        from repro.core import format_markdown_table
+
+        table = format_markdown_table(
+            ["name", "n"], [["barbell", 34]], align="lr"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "| name | n |"
+        assert lines[1] == "| --- | --: |"
+        assert lines[2] == "| barbell | 34 |"
+
+    def test_format_markdown_table_validates_align(self):
+        from repro.core import format_markdown_table
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            format_markdown_table(["a", "b"], [], align="l")
+        with pytest.raises(InvalidParameterError):
+            format_markdown_table(["a", "b"], [], align="lx")
+
+    def test_jsonable_coerces_numpy_and_paths(self):
+        from pathlib import Path
+
+        from repro.core import jsonable
+
+        value = jsonable({
+            "arr": np.arange(3),
+            "f": np.float64(0.5),
+            "i": np.int64(7),
+            "flag": np.bool_(True),
+            "path": Path("x/y"),
+            "tup": (1, 2),
+        })
+        assert value == {"arr": [0, 1, 2], "f": 0.5, "i": 7,
+                         "flag": True, "path": "x/y", "tup": [1, 2]}
+
     def test_verdict_strings(self):
         assert "[PASS]" in format_comparison_verdict("x", True, True)
         assert "[FAIL]" in format_comparison_verdict("x", True, False)

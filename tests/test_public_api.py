@@ -1,18 +1,22 @@
-"""Public-API smoke: every ``__all__`` name imports, every dynamics runs.
+"""Public-API smoke: every ``__all__`` name imports and documents itself.
 
 The CI ``public-api-smoke`` job runs this module on its own: it imports
 every name exported by each package's ``__all__`` (so a broken re-export
-or a renamed symbol fails loudly, not at a user's first import) and
-instantiates every registered dynamics — default spec, default grid,
-local point spec — through the registry.
+or a renamed symbol fails loudly, not at a user's first import), asserts
+that every exported module/class/function carries a non-empty docstring,
+that every CLI subcommand and option carries help text, and instantiates
+every registered dynamics — default spec, default grid, local point spec
+— through the registry.
 """
 
 from __future__ import annotations
 
 import importlib
+import inspect
 
 import pytest
 
+from repro.cli import build_parser
 from repro.dynamics import (
     DiffusionGrid,
     get_dynamics,
@@ -23,6 +27,7 @@ from repro.graph.generators import ring_of_cliques
 PACKAGES = [
     "repro",
     "repro.api",
+    "repro.cli",
     "repro.core",
     "repro.datasets",
     "repro.diffusion",
@@ -33,6 +38,8 @@ PACKAGES = [
     "repro.partition",
     "repro.regularization",
 ]
+
+SUBCOMMANDS = ("datasets", "ncp", "cluster", "bench")
 
 
 @pytest.mark.parametrize("package", PACKAGES)
@@ -48,6 +55,51 @@ def test_every_public_name_is_importable(package):
             f"{package}.__all__ exports {name!r} but the attribute is "
             "missing or None"
         )
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_public_name_has_a_docstring(package):
+    """Docs satellite: the public surface must explain itself.
+
+    Every documentable object (module, class, function, method) exported
+    by a package's ``__all__`` needs a non-empty docstring; plain data
+    exports (``__version__`` and similar constants) are exempt.
+    """
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        documentable = (
+            inspect.ismodule(obj)
+            or inspect.isclass(obj)
+            or inspect.isroutine(obj)
+        )
+        if not documentable:
+            continue
+        doc = inspect.getdoc(obj)
+        if not doc or not doc.strip():
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{package}.__all__ exports undocumented names: {undocumented}"
+    )
+
+
+def test_every_cli_subcommand_documents_itself():
+    """Docs satellite: `repro <cmd> --help` must be useful for all cmds."""
+    parser = build_parser()
+    assert parser.description and parser.description.strip()
+    assert set(parser.repro_subparsers) == set(SUBCOMMANDS)
+    for name, subparser in parser.repro_subparsers.items():
+        assert subparser.description and subparser.description.strip(), (
+            f"subcommand {name!r} has no description"
+        )
+        for action in subparser._actions:
+            assert action.help and action.help.strip(), (
+                f"subcommand {name!r} option {action.dest!r} has no help"
+            )
+        # Every subcommand resolves to a documented handler.
+        handler = subparser.get_default("run")
+        assert handler is not None and inspect.getdoc(handler), name
 
 
 def test_every_registered_dynamics_instantiates():
