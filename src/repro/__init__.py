@@ -15,6 +15,9 @@ Subpackages
 ``repro.dynamics``
     The unified dynamics registry: ``PPR`` / ``HeatKernel`` / ``LazyWalk``
     specs, ``DiffusionGrid``, ``DynamicsKind`` entries, alias table.
+``repro.refine``
+    The unified refiner registry: ``MQI`` / ``FlowImprove`` / ``MOV``
+    specs, ``Pipeline`` workloads, ``RefinerKind`` entries, alias table.
 ``repro.graph``
     CSR graph substrate, matrices, generators, I/O.
 ``repro.linalg``
@@ -46,7 +49,7 @@ True
 """
 
 from repro import core, datasets, diffusion, dynamics, graph, linalg, ncp
-from repro import partition, regularization
+from repro import partition, refine, regularization
 from repro import api
 from repro import cli
 from repro.core.framework import canonical_dynamics, verify_paper_theorem
@@ -81,6 +84,14 @@ from repro.graph.graph import Graph
 from repro.ncp.profile import cluster_ensemble_ncp
 from repro.ncp.runner import run_ncp_ensemble
 from repro.partition.local import local_cluster
+from repro.refine import (
+    FlowImprove,
+    MOV,
+    MQI,
+    Pipeline,
+    UnknownRefinerError,
+    get_refiner,
+)
 
 __version__ = "1.2.0"
 
@@ -93,16 +104,21 @@ __all__ = [
     "EmptyGraphError",
     "ExperimentError",
     "FlowError",
+    "FlowImprove",
     "Graph",
     "GraphError",
     "HeatKernel",
     "InvalidParameterError",
     "LazyWalk",
+    "MOV",
+    "MQI",
     "PPR",
     "PartitionError",
+    "Pipeline",
     "ReproError",
     "UnknownDynamicsError",
     "UnknownGraphError",
+    "UnknownRefinerError",
     "__version__",
     "api",
     "batch_ppr_push",
@@ -115,6 +131,7 @@ __all__ = [
     "dynamics",
     "from_edges",
     "get_dynamics",
+    "get_refiner",
     "graph",
     "linalg",
     "load_any_graph",
@@ -122,6 +139,7 @@ __all__ = [
     "ncp",
     "partition",
     "ppr_push_frontier",
+    "refine",
     "regularization",
     "run_ncp_ensemble",
     "verify_paper_theorem",

@@ -7,6 +7,11 @@ vocabulary:
 * **Specs & grids** — :class:`PPR`, :class:`HeatKernel`, :class:`LazyWalk`,
   :class:`DiffusionGrid`; the registry (:func:`get_dynamics`,
   :func:`canonical_dynamics`, :func:`register_dynamics`).
+* **Refiners & pipelines** — :class:`MQI`, :class:`FlowImprove`,
+  :class:`MOV`, :class:`Pipeline` and the refiner registry
+  (:func:`get_refiner`, :func:`register_refiner`,
+  :func:`apply_refiners`): composable cluster improvement for any NCP
+  or local-clustering entry point.
 * **NCP ensembles** — :func:`cluster_ensemble_ncp` (any grid, in-process),
   :func:`run_ncp_ensemble` (sharded / pooled / memoized),
   :func:`flow_cluster_ensemble_ncp`, :func:`best_per_size_bucket`,
@@ -61,6 +66,25 @@ from repro.dynamics import (
     unregister_dynamics,
 )
 from repro.ncp.compare import Figure1Result, figure1_comparison
+from repro.refine import (
+    FlowImprove,
+    MOV,
+    MQI,
+    Pipeline,
+    RefinementStep,
+    RefinementTrace,
+    RefinerKind,
+    UnknownRefinerError,
+    apply_refiners,
+    as_pipeline,
+    as_refiner,
+    as_refiner_chain,
+    get_refiner,
+    refine_candidates,
+    register_refiner,
+    registered_refiners,
+    unregister_refiner,
+)
 from repro.ncp.profile import (
     ClusterCandidate,
     NCPProfile,
@@ -77,29 +101,46 @@ __all__ = [
     "DiffusionGrid",
     "DynamicsKind",
     "Figure1Result",
+    "FlowImprove",
     "HeatKernel",
     "LazyWalk",
     "LocalClusterResult",
+    "MOV",
+    "MQI",
     "NCPProfile",
     "NCPRunResult",
     "PPR",
+    "Pipeline",
+    "RefinementStep",
+    "RefinementTrace",
+    "RefinerKind",
     "UnknownDynamicsError",
     "UnknownGraphError",
+    "UnknownRefinerError",
+    "apply_refiners",
     "as_diffusion_grid",
+    "as_pipeline",
+    "as_refiner",
+    "as_refiner_chain",
     "best_per_size_bucket",
     "canonical_dynamics",
     "cluster_ensemble_ncp",
     "figure1_comparison",
     "flow_cluster_ensemble_ncp",
     "get_dynamics",
+    "get_refiner",
     "load_any_graph",
     "load_graph",
     "local_cluster",
+    "refine_candidates",
     "register_dynamics",
+    "register_refiner",
     "registered_dynamics",
+    "registered_refiners",
     "run_multidynamics_ncp",
     "run_ncp_ensemble",
     "suite_names",
     "unregister_dynamics",
+    "unregister_refiner",
     "verify_paper_theorem",
 ]

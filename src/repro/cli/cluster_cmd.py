@@ -18,7 +18,7 @@ from repro.cli._common import (
     parse_int_list,
     resolve_graph,
 )
-from repro.cli.specs import parse_dynamics_spec
+from repro.cli.specs import parse_dynamics_spec, parse_refiner_chain
 from repro.core.reporting import format_table
 from repro.exceptions import InvalidParameterError
 from repro.partition.local import local_cluster
@@ -57,6 +57,13 @@ def configure_parser(subparsers):
         metavar="SPEC",
         help="one dynamics spec string; eps=... sets the truncation "
              "epsilon (default: ppr with its default local point)",
+    )
+    parser.add_argument(
+        "--refine",
+        default=None,
+        metavar="CHAIN",
+        help="refiner chain applied to the sweep cluster, e.g. 'mqi' or "
+             "'mqi,flow:radius=2' (default: no refinement)",
     )
     parser.add_argument(
         "--epsilon",
@@ -101,11 +108,17 @@ def _resolve_epsilon(request, args):
     return 1e-4 if args.epsilon is None else float(args.epsilon)
 
 
-def _result_record(result, *, dynamics_key, epsilon):
+def _result_record(result, *, dynamics_key, epsilon, refiners):
+    import dataclasses
+
     return {
         "dynamics": dynamics_key,
         "method": result.method,
         "epsilon": epsilon,
+        "refiners": [spec.token() for spec in refiners],
+        "refinement": [
+            dataclasses.asdict(step) for step in result.refinement
+        ],
         "seed_nodes": result.seed_nodes,
         "nodes": result.nodes,
         "size": int(result.nodes.size),
@@ -125,6 +138,8 @@ def _replay_argv(args):
         "--dynamics", args.dynamics,
         "--min-size", str(args.min_size),
     ]
+    if args.refine is not None:
+        argv += ["--refine", args.refine]
     if args.epsilon is not None:
         argv += ["--epsilon", repr(float(args.epsilon))]
     if args.max_volume is not None:
@@ -138,12 +153,16 @@ def run(args):
     graph, record = resolve_graph(args)
     seeds = parse_int_list(args.seeds, name="--seeds")
     request = parse_dynamics_spec(args.dynamics)
+    refiners = (
+        parse_refiner_chain(args.refine) if args.refine is not None else ()
+    )
     epsilon = _resolve_epsilon(request, args)
     spec = request.local_spec(graph)
 
     result = local_cluster(
         graph, seeds, spec, epsilon=epsilon,
         max_volume=args.max_volume, min_size=args.min_size,
+        refiners=refiners,
     )
 
     print(format_table(
@@ -152,6 +171,7 @@ def run(args):
                    f"m={graph.num_edges})"],
          ["dynamics", f"{request.key} ({spec!r})"],
          ["method", result.method],
+         ["refiners", ">".join(s.token() for s in refiners) or "--"],
          ["epsilon", epsilon],
          ["seed nodes", " ".join(str(s) for s in result.seed_nodes)],
          ["cluster size", int(result.nodes.size)],
@@ -171,7 +191,7 @@ def run(args):
         return 0
     out = ensure_out_dir(args.out)
     cluster_record = _result_record(
-        result, dynamics_key=request.key, epsilon=epsilon
+        result, dynamics_key=request.key, epsilon=epsilon, refiners=refiners
     )
     cluster_path = out / CLUSTER_NAME
     import json
@@ -188,6 +208,7 @@ def run(args):
             "graph_seed": args.graph_seed,
             "seeds": seeds,
             "dynamics": args.dynamics,
+            "refine": args.refine,
             "epsilon": epsilon,
             "max_volume": args.max_volume,
             "min_size": args.min_size,

@@ -26,11 +26,12 @@ from repro.cli._common import (
     parse_float_list,
     resolve_graph,
 )
-from repro.cli.specs import parse_dynamics_list
+from repro.cli.specs import parse_dynamics_list, parse_refiner_chain
 from repro.core.reporting import format_table
 from repro.exceptions import PartitionError
 from repro.ncp.profile import best_per_size_bucket
 from repro.ncp.runner import run_ncp_ensemble
+from repro.refine import Pipeline
 
 CANDIDATES_NAME = "candidates.csv"
 PROFILE_NAME = "profile.txt"
@@ -56,6 +57,14 @@ def configure_parser(subparsers):
         metavar="SPECS",
         help="comma-separated dynamics spec strings, e.g. 'ppr,hk,walk' "
              "or 'ppr:alpha=0.05/0.15,eps=1e-4,hk:t=5' (default: ppr)",
+    )
+    parser.add_argument(
+        "--refine",
+        default=None,
+        metavar="CHAIN",
+        help="refiner chain applied to every candidate of every "
+             "dynamics, e.g. 'mqi' or 'mqi,flow:radius=2' (registry "
+             "names/aliases; default: no refinement)",
     )
     parser.add_argument(
         "--num-seeds",
@@ -183,6 +192,8 @@ def _replay_argv(args):
         "--seeds-per-chunk", str(args.seeds_per_chunk),
         "--buckets", str(args.buckets),
     ]
+    if args.refine is not None:
+        argv += ["--refine", args.refine]
     if args.epsilons is not None:
         argv += ["--epsilons", args.epsilons]
     if args.max_cluster_size is not None:
@@ -195,16 +206,24 @@ def run(args):
     watch = Stopwatch()
     graph, record = resolve_graph(args)
     requests = parse_dynamics_list(args.dynamics)
+    refiners = (
+        parse_refiner_chain(args.refine) if args.refine is not None else ()
+    )
     shared_epsilons = (
         parse_float_list(args.epsilons, name="--epsilons")
         if args.epsilons is not None else None
     )
     out = ensure_out_dir(args.out)
 
+    chain_note = (
+        " refine=" + ">".join(spec.token() for spec in refiners)
+        if refiners else ""
+    )
     print(
         f"ncp: graph={args.graph} (n={graph.num_nodes}, "
         f"m={graph.num_edges}) dynamics="
-        f"{','.join(r.key for r in requests)} workers={args.workers}"
+        f"{','.join(r.key for r in requests)}{chain_note} "
+        f"workers={args.workers}"
     )
     runs = []
     for request in requests:
@@ -215,9 +234,10 @@ def run(args):
             max_cluster_size=args.max_cluster_size,
             engine=args.engine,
         )
+        workload = Pipeline(grid, refiners=refiners) if refiners else grid
         runs.append(run_ncp_ensemble(
             graph,
-            grid,
+            workload,
             num_workers=args.workers,
             seeds_per_chunk=args.seeds_per_chunk,
             cache_dir=args.cache_dir,
@@ -241,6 +261,7 @@ def run(args):
             "graph": args.graph,
             "graph_seed": args.graph_seed,
             "dynamics": args.dynamics,
+            "refine": args.refine,
             "num_seeds": args.num_seeds,
             "seed": args.seed,
             "epsilons": shared_epsilons,

@@ -1,7 +1,9 @@
 """Spec-string parsing: ``--dynamics ppr:alpha=0.1,eps=1e-4`` and friends.
 
-The CLI addresses the dynamics registry with compact spec strings so a
-whole workload fits on one command line:
+The CLI addresses the dynamics registry — and, with the same grammar,
+the refiner registry (``--refine mqi,flow:radius=2``, see
+:func:`parse_refiner_chain`) — with compact spec strings so a whole
+workload fits on one command line.  Dynamics strings:
 
 * ``ppr`` — a bare registered name or alias (``pagerank``, ``acl``, ...)
   selects that dynamics with its default axes;
@@ -30,8 +32,14 @@ from dataclasses import dataclass
 
 from repro.dynamics import DiffusionGrid, get_dynamics
 from repro.exceptions import InvalidParameterError
+from repro.refine import get_refiner
 
-__all__ = ["DynamicsRequest", "parse_dynamics_list", "parse_dynamics_spec"]
+__all__ = [
+    "DynamicsRequest",
+    "parse_dynamics_list",
+    "parse_dynamics_spec",
+    "parse_refiner_chain",
+]
 
 # Keys routed to the grid's epsilon axis instead of a spec field.
 _EPSILON_KEYS = ("eps", "epsilon", "epsilons")
@@ -135,13 +143,12 @@ def _build_request(name, pairs, raw):
                            raw=raw)
 
 
-def parse_dynamics_list(text):
-    """Parse a full ``--dynamics`` value into :class:`DynamicsRequest`\\ s.
+def _group_spec_tokens(text, *, option, kind):
+    """Split a comma-separated spec string into (name, pairs, raw) groups.
 
-    ``"ppr,hk,walk"`` gives three default-axis requests;
-    ``"ppr:alpha=0.1,eps=1e-4"`` one request with overrides; mixtures
-    like ``"ppr:alpha=0.1,hk"`` work because a ``key=value`` token binds
-    to the most recent spec while any other token starts a new one.
+    The shared grammar of ``--dynamics`` and ``--refine``: a token
+    containing ``:`` (or a bare name) starts a new spec, a ``key=value``
+    token extends the one before it.
     """
     groups = []  # [name, [(key, value), ...], raw_tokens]
     for token in str(text).split(","):
@@ -156,15 +163,15 @@ def parse_dynamics_list(text):
                 key, eq, value = tail.partition("=")
                 if not eq:
                     raise InvalidParameterError(
-                        f"--dynamics: expected key=value after ':' in "
+                        f"{option}: expected key=value after ':' in "
                         f"{token!r}"
                     )
                 group[1].append((key, value))
         elif "=" in token:
             if not groups:
                 raise InvalidParameterError(
-                    f"--dynamics: parameter {token!r} appears before any "
-                    f"dynamics name (write name:key=value)"
+                    f"{option}: parameter {token!r} appears before any "
+                    f"{kind} name (write name:key=value)"
                 )
             key, _, value = token.partition("=")
             groups[-1][1].append((key, value))
@@ -173,8 +180,20 @@ def parse_dynamics_list(text):
             groups.append([token, [], [token]])
     if not groups:
         raise InvalidParameterError(
-            "--dynamics: expected at least one dynamics name"
+            f"{option}: expected at least one {kind} name"
         )
+    return groups
+
+
+def parse_dynamics_list(text):
+    """Parse a full ``--dynamics`` value into :class:`DynamicsRequest`\\ s.
+
+    ``"ppr,hk,walk"`` gives three default-axis requests;
+    ``"ppr:alpha=0.1,eps=1e-4"`` one request with overrides; mixtures
+    like ``"ppr:alpha=0.1,hk"`` work because a ``key=value`` token binds
+    to the most recent spec while any other token starts a new one.
+    """
+    groups = _group_spec_tokens(text, option="--dynamics", kind="dynamics")
     return [
         _build_request(name, pairs, ",".join(raw_tokens))
         for name, pairs, raw_tokens in groups
@@ -190,3 +209,40 @@ def parse_dynamics_spec(text):
             f"{[r.key for r in requests]} from {text!r}"
         )
     return requests[0]
+
+
+def _build_refiner(name, pairs, raw):
+    kind = get_refiner(name)  # UnknownRefinerError lists names + aliases
+    fields = {f.name for f in dataclasses.fields(kind.spec_type)}
+    params = {}
+    for key, value in pairs:
+        key = kind.resolve_field(key.strip().lower())
+        context = f"--refine {raw!r}: {key}"
+        if key not in fields:
+            aliases = sorted(alias for alias, _ in kind.field_aliases)
+            raise InvalidParameterError(
+                f"--refine {raw!r}: unknown parameter {key!r} for "
+                f"{kind.key!r}; expected one of {sorted(fields)}"
+                + (f" (aliases: {aliases})" if aliases else "")
+            )
+        params[key] = _parse_value(value, context=context)
+    return kind.spec_type(**params)
+
+
+def parse_refiner_chain(text):
+    """Parse a ``--refine`` value into an ordered tuple of refiner specs.
+
+    The same grammar as ``--dynamics``, resolved through the refiner
+    registry (:mod:`repro.refine`): ``"mqi"`` is one default-knob stage,
+    ``"mqi,flow:radius=2"`` a two-stage chain, and short parameter
+    aliases (``radius`` → ``dilation_radius``, ``rounds`` →
+    ``max_rounds``, ``gamma`` → ``gamma_fraction``) come from each
+    :class:`~repro.refine.RefinerKind`'s ``field_aliases`` table.
+    Unknown names fail with the registry's own error (listing canonical
+    names and aliases).
+    """
+    groups = _group_spec_tokens(text, option="--refine", kind="refiner")
+    return tuple(
+        _build_refiner(name, pairs, ",".join(raw_tokens))
+        for name, pairs, raw_tokens in groups
+    )

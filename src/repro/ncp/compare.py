@@ -23,13 +23,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dynamics import PPR, DiffusionGrid, as_diffusion_grid, warn_deprecated
+from repro.dynamics import PPR, DiffusionGrid, warn_deprecated
 from repro.exceptions import InvalidParameterError
 from repro.ncp.niceness import cluster_niceness
 from repro.ncp.profile import (
     best_per_size_bucket,
     flow_cluster_ensemble_ncp,
 )
+from repro.refine import as_pipeline
 
 
 @dataclass
@@ -220,12 +221,14 @@ def figure1_comparison(
     niceness_seed=0,
     num_workers=0,
     cache_dir=None,
+    flow_refiners=("mqi",),
 ):
     """Run the complete Figure 1 experiment on one graph.
 
     Returns a :class:`Figure1Result`.  ``grid`` is the diffusion-side
     workload — a :class:`~repro.dynamics.DiffusionGrid` (or spec /
-    registered name); by default the paper's LocalSpectral grid,
+    registered name), or a :class:`~repro.refine.Pipeline` to refine the
+    diffusion cloud too; by default the paper's LocalSpectral grid,
     ``DiffusionGrid(PPR(), num_seeds=num_seeds or 40, seed=seed)``, is
     used.  ``num_seeds`` applies only to that default grid — an explicit
     ``grid`` carries its own seed sampling, and combining the two raises.
@@ -233,8 +236,11 @@ def figure1_comparison(
     ``num_workers >= 1`` shards its grid across processes and
     ``cache_dir`` memoizes the shards on disk; both leave the result
     unchanged.  ``seed`` also drives the flow ensemble's recursive
-    bisection, and ``num_buckets`` controls the size resolution of the
-    panels.
+    bisection, ``flow_refiners`` is the refiner chain the flow cloud is
+    improved with (the default ``("mqi",)`` is the paper's Metis+MQI;
+    any registered chain — e.g. ``(FlowImprove(dilation_radius=2),)`` —
+    swaps in through :mod:`repro.refine`), and ``num_buckets`` controls
+    the size resolution of the panels.
 
     Passing the old ``alphas=`` / ``epsilons=`` keywords instead of a
     grid is deprecated; the equivalent PPR grid is constructed and a
@@ -265,13 +271,15 @@ def figure1_comparison(
                 "keywords (num_seeds/alphas/epsilons); the grid carries "
                 "the full diffusion workload"
             )
-        grid = as_diffusion_grid(grid)
+        # A Pipeline passes through whole (the runner threads its refiner
+        # chain); anything else normalizes to a plain grid.
+        grid = as_pipeline(grid)
 
     spectral = run_ncp_ensemble(
         graph, grid, num_workers=num_workers, cache_dir=cache_dir,
     ).candidates
     flow = flow_cluster_ensemble_ncp(
-        graph, min_size=min_cluster_size, seed=seed
+        graph, min_size=min_cluster_size, seed=seed, refiners=flow_refiners,
     )
     all_sizes = [c.size for c in spectral + flow]
     max_size = max(all_sizes) if all_sizes else graph.num_nodes // 2

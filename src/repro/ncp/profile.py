@@ -18,12 +18,19 @@ Two ensemble generators:
   lazy walk are the other two canonical dynamics of Section 3.1.
 * :func:`flow_cluster_ensemble_ncp` — the "Metis+MQI (red)" side: recursive
   multilevel bisection proposes clusters at all scales, each improved by
-  iterated MQI.
+  a refiner chain from the unified registry (:mod:`repro.refine`;
+  ``("mqi",)`` by default — exactly the paper's Metis+MQI pipeline).
+
+Both generators also speak :class:`~repro.refine.Pipeline`:
+``cluster_ensemble_ncp(graph, Pipeline(PPR(), refiners=("mqi",)))``
+threads every diffusion candidate through the chain, attaching per-stage
+:class:`~repro.refine.RefinementStep` provenance.
 
 The pre-registry per-dynamics generators
 (:func:`spectral_cluster_ensemble_ncp`, :func:`hk_cluster_ensemble_ncp`,
-:func:`walk_cluster_ensemble_ncp`) remain as deprecation shims that
-construct the equivalent grid spec.
+:func:`walk_cluster_ensemble_ncp`) and the hardwired
+``improve_with_mqi``/``max_mqi_size`` keywords remain as deprecation
+shims that construct the equivalent spec.
 
 Candidates are reduced to a profile by :func:`best_per_size_bucket`. For
 large grids, :mod:`repro.ncp.runner` shards the diffusion ensembles across
@@ -48,9 +55,18 @@ from repro.dynamics import (
 )
 from repro.exceptions import PartitionError
 from repro.partition.metrics import conductance
-from repro.partition.mqi import mqi
 from repro.partition.multilevel import recursive_bisection_clusters
 from repro.partition.sweep import sweep_cut
+from repro.refine import (
+    apply_refiners,
+    as_pipeline,
+    as_refiner_chain,
+    refine_candidates,
+)
+
+# Sentinel distinguishing "kwarg not passed" from an explicit value in
+# the deprecated ``improve_with_mqi``/``max_mqi_size`` shim path.
+_UNSET = object()
 
 
 @dataclass
@@ -66,15 +82,26 @@ class ClusterCandidate:
     method:
         Producing algorithm (``"spectral"``, ``"hk"``, ``"walk"``, or
         ``"flow"``).
+    refinement:
+        Per-stage :class:`~repro.refine.RefinementStep` provenance when
+        the candidate went through a refiner chain (pre/post
+        conductance, refiner token, rounds, convergence per stage);
+        empty for raw candidates.
     """
 
     nodes: np.ndarray
     conductance: float
     method: str
+    refinement: tuple = ()
 
     @property
     def size(self):
         return int(self.nodes.size)
+
+    @property
+    def refined(self):
+        """Whether any refiner stage replaced this candidate's nodes."""
+        return any(step.changed for step in self.refinement)
 
 
 @dataclass
@@ -127,7 +154,7 @@ def _record_sweep_candidates(graph, approximation, candidates, method,
 
 
 def cluster_ensemble_ncp(graph, grid):
-    """Generate the NCP candidate ensemble for one diffusion grid.
+    """Generate the NCP candidate ensemble for one diffusion workload.
 
     The single generator behind every diffusion dynamics: samples
     ``grid.num_seeds`` seed nodes by degree from ``grid.seed``'s RNG
@@ -144,17 +171,21 @@ def cluster_ensemble_ncp(graph, grid):
         A :class:`~repro.dynamics.DiffusionGrid` — or anything
         :func:`~repro.dynamics.as_diffusion_grid` accepts (a spec instance
         such as ``PPR(alpha=(0.05,))``, a registered name like ``"hk"``,
-        or a :class:`~repro.dynamics.DynamicsKind`).
+        or a :class:`~repro.dynamics.DynamicsKind`) — or a
+        :class:`~repro.refine.Pipeline`, in which case every candidate is
+        additionally threaded through the pipeline's refiner chain
+        (carrying :class:`~repro.refine.RefinementStep` provenance).
 
     Returns
     -------
     list of :class:`ClusterCandidate`, with ``method`` set to the spec's
     candidate label (``"spectral"`` / ``"hk"`` / ``"walk"``).
     """
-    grid = as_diffusion_grid(grid)
+    pipeline = as_pipeline(grid)
+    grid = pipeline.grid
     rng = as_rng(grid.seed)
     seed_nodes = _sample_seed_nodes(graph, grid.num_seeds, rng)
-    return grid_candidates_for_seed_nodes(
+    candidates = grid_candidates_for_seed_nodes(
         graph,
         seed_nodes,
         grid.dynamics,
@@ -162,6 +193,9 @@ def cluster_ensemble_ncp(graph, grid):
         max_cluster_size=grid.resolve_max_cluster_size(graph),
         engine=grid.engine,
     )
+    if pipeline.refiners:
+        candidates = refine_candidates(graph, candidates, pipeline.refiners)
+    return candidates
 
 
 def grid_candidates_for_seed_nodes(graph, seed_nodes, spec, *, epsilons,
@@ -345,38 +379,71 @@ def _unique_clusters(clusters):
 
 
 def flow_cluster_ensemble_ncp(graph, *, min_size=4, seed=None,
-                              improve_with_mqi=True, max_mqi_size=None):
-    """Generate the flow candidate ensemble: recursive bisection (+ MQI).
+                              refiners=("mqi",), max_refine_size=None,
+                              improve_with_mqi=_UNSET, max_mqi_size=_UNSET):
+    """Generate the flow candidate ensemble: recursive bisection + refiners.
 
     Every side of every recursive multilevel bisection is a candidate;
-    each is MQI-improved (the "Metis+MQI" pipeline) when its volume permits.
+    each is additionally threaded through ``refiners`` — any chain from
+    the unified registry (:mod:`repro.refine`) — and the refined set is
+    appended as a second candidate when it strictly improves conductance.
+    The default chain ``("mqi",)`` is exactly the paper's "Metis+MQI"
+    pipeline; ``refiners=()`` yields the raw bisection ensemble.
 
-    Returns a list of :class:`ClusterCandidate`.
+    Parameters
+    ----------
+    graph:
+        Graph with positive degrees.
+    min_size:
+        Bisection recursion floor.
+    seed:
+        RNG seed for the multilevel coarsening.
+    refiners:
+        Refiner chain applied to every bisection side — spec instances
+        (``MQI(max_rounds=50)``), registered names/aliases (``"mqi"``,
+        ``"flow"``, ``"mov"``, ``"metis_mqi"``, ...), or a mix.
+    max_refine_size:
+        Skip refinement for sides larger than this many nodes
+        (``None`` = refine every side whose preconditions hold).
+    improve_with_mqi, max_mqi_size:
+        Deprecated pre-registry spellings (``improve_with_mqi=False`` ↦
+        ``refiners=()``, ``max_mqi_size`` ↦ ``max_refine_size``); using
+        them emits a :class:`DeprecationWarning`.
+
+    Returns a list of :class:`ClusterCandidate`; refined candidates carry
+    per-stage :class:`~repro.refine.RefinementStep` provenance.
     """
+    if improve_with_mqi is not _UNSET or max_mqi_size is not _UNSET:
+        warn_deprecated(
+            "flow_cluster_ensemble_ncp(improve_with_mqi=..., "
+            "max_mqi_size=...)",
+            "flow_cluster_ensemble_ncp(refiners=..., max_refine_size=...)",
+        )
+        if improve_with_mqi is not _UNSET and not improve_with_mqi:
+            refiners = ()
+        if max_mqi_size is not _UNSET:
+            max_refine_size = max_mqi_size
+    chain = as_refiner_chain(refiners)
     clusters = recursive_bisection_clusters(
         graph, min_size=min_size, seed=seed
     )
-    half = graph.total_volume / 2.0
-    if max_mqi_size is None:
-        max_mqi_size = graph.num_nodes
+    if max_refine_size is None:
+        max_refine_size = graph.num_nodes
     candidates = []
     for nodes in _unique_clusters(clusters):
         phi = conductance(graph, nodes)
         candidates.append(
             ClusterCandidate(nodes=nodes, conductance=phi, method="flow")
         )
-        if (
-            improve_with_mqi
-            and nodes.size <= max_mqi_size
-            and float(graph.degrees[nodes].sum()) <= half
-        ):
-            improved = mqi(graph, nodes)
-            if improved.conductance < phi - 1e-15:
+        if chain and nodes.size <= max_refine_size:
+            trace = apply_refiners(graph, nodes, chain, pre_conductance=phi)
+            if trace.changed and trace.final_conductance < phi - 1e-15:
                 candidates.append(
                     ClusterCandidate(
-                        nodes=improved.nodes,
-                        conductance=improved.conductance,
+                        nodes=trace.nodes,
+                        conductance=trace.final_conductance,
                         method="flow",
+                        refinement=trace.steps,
                     )
                 )
     return candidates

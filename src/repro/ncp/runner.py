@@ -21,12 +21,18 @@ production levers:
 Dispatch is dynamics-agnostic: a chunk records the canonical registry
 name plus the exact grid parameters, and evaluation reconstructs the spec
 through :func:`repro.dynamics.get_dynamics` — a newly registered dynamics
-shards, pools, and memoizes with zero changes here.
+shards, pools, and memoizes with zero changes here.  Refinement is
+refiner-agnostic the same way: a :class:`~repro.refine.Pipeline` workload
+stamps its resolved refiner chain onto every chunk, each chunk threads
+its candidates through the chain (per candidate, so determinism and
+worker-count independence are untouched), and refined chunks get their
+own versioned cache keys so refined and raw runs never alias.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import time
 import zipfile
@@ -39,7 +45,6 @@ from repro._validation import as_rng, check_int
 from repro.core.reporting import jsonable
 from repro.dynamics import (
     DiffusionGrid,
-    as_diffusion_grid,
     get_dynamics,
     resolve_dynamics_name,
     warn_deprecated,
@@ -49,6 +54,13 @@ from repro.ncp.profile import (
     ClusterCandidate,
     _sample_seed_nodes,
     grid_candidates_for_seed_nodes,
+)
+from repro.refine import (
+    RefinementStep,
+    as_pipeline,
+    as_refiner_chain,
+    get_refiner,
+    refine_candidates,
 )
 
 __all__ = [
@@ -64,6 +76,12 @@ __all__ = [
 # refactor kept both the chunk parameter encoding and the candidate
 # semantics identical, so version 1 entries remain valid.)
 _CACHE_VERSION = 1
+
+# Version of the *refined*-chunk cache-key namespace.  Refiner-bearing
+# chunks hash this tag plus the exact refiner chain on top of the base
+# key, so refined and raw runs can never alias each other (and a future
+# change to refinement semantics invalidates only refined entries).
+_REFINE_CACHE_VERSION = 1
 
 # Sentinel distinguishing "kwarg not passed" from an explicit None in the
 # deprecated keyword-soup path of :func:`run_ncp_ensemble`.
@@ -90,6 +108,12 @@ class GridChunk:
         own cache entries: the engines agree only up to eps-scale sweep
         perturbations, so a scalar run must never be served batched
         results (or vice versa).
+    refiners:
+        Ordered refiner chain (frozen spec instances from
+        :mod:`repro.refine`) applied to every candidate the chunk
+        produces; empty for raw diffusion chunks.  Part of the cache key
+        (see :data:`_REFINE_CACHE_VERSION`), so refined and raw runs
+        never alias.
     """
 
     index: int
@@ -97,6 +121,7 @@ class GridChunk:
     seed_nodes: tuple
     params: tuple
     engine: str = "batched"
+    refiners: tuple = ()
 
     def describe(self):
         parts = [f"{name}={value!r}" for name, value in self.params]
@@ -104,6 +129,10 @@ class GridChunk:
             f"{self.dynamics}[{self.index}] seeds={list(self.seed_nodes)} "
             + " ".join(parts)
         )
+
+    def refiner_tokens(self):
+        """Canonical token per refiner stage (cache keys, diagnostics)."""
+        return tuple(spec.token() for spec in self.refiners)
 
     def spec(self):
         """Reconstruct the dynamics spec this chunk was planned from."""
@@ -130,6 +159,9 @@ class NCPRunResult:
         Worker processes used (0 means in-process serial execution).
     grid:
         The resolved :class:`~repro.dynamics.DiffusionGrid` that was run.
+    refiners:
+        The resolved refiner chain (frozen spec instances) every
+        candidate was threaded through; empty for raw diffusion runs.
     fingerprint:
         :func:`graph_fingerprint` of the graph the ensemble ran on.
     seed_nodes:
@@ -144,6 +176,7 @@ class NCPRunResult:
     cache_hits: int = 0
     num_workers: int = 0
     grid: object = field(repr=False, default=None)
+    refiners: tuple = ()
     fingerprint: str = ""
     seed_nodes: tuple = ()
     wall_seconds: float = 0.0
@@ -153,12 +186,14 @@ class NCPRunResult:
 
         Everything needed to reproduce the candidate ensemble byte for
         byte — the resolved grid (dynamics axes, epsilons, seed-sampling
-        plan, engine), the graph fingerprint scoping the result to the
-        exact CSR arrays, and the execution facts (workers, chunks, cache
-        hits, wall time) that are allowed to vary between identical
-        reruns.  ``grid.seed`` is recorded only when it is a plain integer
-        or ``None``; a live RNG object is not replayable and is recorded
-        as ``"seed": null`` with ``"seed_is_replayable": false``.
+        plan, engine), the resolved refiner chain (one
+        name/params/token record per stage, in order), the graph
+        fingerprint scoping the result to the exact CSR arrays, and the
+        execution facts (workers, chunks, cache hits, wall time) that
+        are allowed to vary between identical reruns.  ``grid.seed`` is
+        recorded only when it is a plain integer or ``None``; a live RNG
+        object is not replayable and is recorded as ``"seed": null``
+        with ``"seed_is_replayable": false``.
         """
         grid = self.grid
         seed = grid.seed
@@ -177,6 +212,14 @@ class NCPRunResult:
                 ),
                 "engine": grid.engine,
             },
+            "refiners": [
+                {
+                    "name": get_refiner(spec).key,
+                    "params": jsonable(dict(spec.params())),
+                    "token": spec.token(),
+                }
+                for spec in self.refiners
+            ],
             "graph_fingerprint": self.fingerprint,
             "seed_nodes": [int(s) for s in self.seed_nodes],
             "num_candidates": len(self.candidates),
@@ -215,17 +258,20 @@ def _grid_params(grid, graph):
 
 
 def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8,
-                engine="batched"):
+                engine="batched", refiners=()):
     """Split a seed list into deterministic :class:`GridChunk` shards.
 
     ``dynamics`` may be a canonical name, an alias, a spec instance, or a
     :class:`~repro.dynamics.DynamicsKind`; chunks always record the
-    canonical name.  The split depends only on the seed list and
+    canonical name.  ``refiners`` (any chain
+    :func:`~repro.refine.as_refiner_chain` accepts) is stamped onto
+    every chunk.  The split depends only on the seed list and
     ``seeds_per_chunk`` — never on the worker count — so cache keys and
     merge order are stable across machines and pool sizes.
     """
     check_int(seeds_per_chunk, "seeds_per_chunk", minimum=1)
     dynamics = resolve_dynamics_name(dynamics)
+    refiners = as_refiner_chain(refiners)
     seed_nodes = [int(s) for s in seed_nodes]
     return [
         GridChunk(
@@ -234,6 +280,7 @@ def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8,
             seed_nodes=tuple(seed_nodes[start:start + seeds_per_chunk]),
             params=tuple(params),
             engine=engine,
+            refiners=refiners,
         )
         for i, start in enumerate(
             range(0, len(seed_nodes), seeds_per_chunk)
@@ -249,7 +296,45 @@ def _chunk_cache_key(fingerprint, chunk):
         # Keyed separately from (and without invalidating) the historical
         # batched entries, which predate the engine field.
         digest.update(f"|engine={chunk.engine}".encode())
+    if chunk.refiners:
+        # Refined chunks live in their own versioned key namespace: a raw
+        # run can never be served refined candidates (or vice versa), and
+        # unrefined keys predating the refiners field stay valid.
+        digest.update(
+            f"|refine-v{_REFINE_CACHE_VERSION}|"
+            f"{'>'.join(chunk.refiner_tokens())}".encode()
+        )
     return digest.hexdigest()
+
+
+def _encode_refinement(steps):
+    """JSON-encode one candidate's per-stage provenance (exact floats)."""
+    return json.dumps([
+        [
+            step.refiner,
+            float(step.pre_conductance),
+            float(step.post_conductance),
+            int(step.rounds),
+            bool(step.converged),
+            bool(step.changed),
+        ]
+        for step in steps
+    ])
+
+
+def _decode_refinement(text):
+    """Rebuild the :class:`~repro.refine.RefinementStep` tuple."""
+    return tuple(
+        RefinementStep(
+            refiner=str(refiner),
+            pre_conductance=float(pre),
+            post_conductance=float(post),
+            rounds=int(rounds),
+            converged=bool(converged),
+            changed=bool(changed),
+        )
+        for refiner, pre, post, rounds, converged, changed in json.loads(text)
+    )
 
 
 def _save_chunk(path, candidates):
@@ -268,15 +353,23 @@ def _save_chunk(path, candidates):
         lengths = np.empty(0, dtype=np.int64)
         conductances = np.empty(0)
         methods = np.empty(0, dtype="U1")
+    arrays = dict(
+        nodes=nodes_concat, lengths=lengths,
+        conductances=conductances, methods=methods,
+    )
+    if any(c.refinement for c in candidates):
+        # Refiner provenance rides along as one JSON string per candidate
+        # (floats round-trip exactly via repr); raw chunks keep the
+        # pre-refinement file layout byte for byte.
+        arrays["refinement"] = np.asarray(
+            [_encode_refinement(c.refinement) for c in candidates]
+        )
     # Per-writer temp name: concurrent processes sharing a cache_dir must
     # never interleave writes into one temp file; each writes its own and
     # the final rename is atomic, last-writer-wins with identical content.
     tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
     with open(tmp, "wb") as handle:
-        np.savez_compressed(
-            handle, nodes=nodes_concat, lengths=lengths,
-            conductances=conductances, methods=methods,
-        )
+        np.savez_compressed(handle, **arrays)
     tmp.replace(path)
 
 
@@ -285,24 +378,38 @@ def _load_chunk(path):
     try:
         with np.load(path, allow_pickle=False) as data:
             offsets = np.concatenate(([0], np.cumsum(data["lengths"])))
+            refinement = (
+                data["refinement"] if "refinement" in data.files else None
+            )
             return [
                 ClusterCandidate(
                     nodes=data["nodes"][offsets[i]:offsets[i + 1]].copy(),
                     conductance=float(data["conductances"][i]),
                     method=str(data["methods"][i]),
+                    refinement=(
+                        _decode_refinement(str(refinement[i]))
+                        if refinement is not None
+                        else ()
+                    ),
                 )
                 for i in range(data["lengths"].size)
             ]
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, TypeError):
         # A truncated or foreign file is a miss, not a crash; the chunk
-        # is recomputed and the entry rewritten.
+        # is recomputed and the entry rewritten.  (json.JSONDecodeError
+        # is a ValueError; a malformed provenance payload is a miss too.)
         return None
 
 
 def _evaluate_chunk(graph, chunk):
-    """Run one shard's diffusion grid and sweep it into candidates."""
+    """Run one shard's diffusion grid and sweep it into candidates.
+
+    Refinement happens here, inside the shard — per candidate, so the
+    refined ensemble is exactly as deterministic (and as worker-count-
+    independent) as the raw one.
+    """
     params = dict(chunk.params)
-    return grid_candidates_for_seed_nodes(
+    candidates = grid_candidates_for_seed_nodes(
         graph,
         list(chunk.seed_nodes),
         chunk.spec(),
@@ -310,6 +417,9 @@ def _evaluate_chunk(graph, chunk):
         max_cluster_size=params["max_cluster_size"],
         engine=chunk.engine,
     )
+    if chunk.refiners:
+        candidates = refine_candidates(graph, candidates, chunk.refiners)
+    return candidates
 
 
 def _worker_evaluate(payload):
@@ -368,9 +478,12 @@ def run_ncp_ensemble(
     grid:
         The workload: a :class:`~repro.dynamics.DiffusionGrid`, a spec
         instance (``PPR(...)`` / ``HeatKernel(...)`` / ``LazyWalk(...)``),
-        a registered dynamics name, or a
-        :class:`~repro.dynamics.DynamicsKind`.  Seed sampling uses the
-        grid's own RNG stream — the same stream
+        a registered dynamics name, a
+        :class:`~repro.dynamics.DynamicsKind`, or a
+        :class:`~repro.refine.Pipeline` (grid + refiner chain, in which
+        case every candidate is threaded through the chain inside its
+        chunk, and refined chunks get their own versioned cache keys).
+        Seed sampling uses the grid's own RNG stream — the same stream
         :func:`~repro.ncp.profile.cluster_ensemble_ncp` uses, so a serial
         generator run and a sharded runner run see identical seeds.
     dynamics, num_seeds, alphas, epsilons, ts, steps, walk_alpha, \
@@ -399,6 +512,7 @@ max_cluster_size, seed:
         dynamics, num_seeds, alphas, epsilons, ts, steps, walk_alpha,
         max_cluster_size, seed,
     )
+    refiners = ()
     if grid is None:
         grid = _legacy_grid(*legacy)
         warn_deprecated(
@@ -411,7 +525,9 @@ max_cluster_size, seed:
                 "run_ncp_ensemble received both a grid and deprecated "
                 "per-dynamics keywords; the grid carries the full workload"
             )
-        grid = as_diffusion_grid(grid)
+        pipeline = as_pipeline(grid)
+        grid = pipeline.grid
+        refiners = pipeline.refiners
     num_workers = check_int(num_workers, "num_workers", minimum=0)
     start_time = time.perf_counter()
 
@@ -421,6 +537,7 @@ max_cluster_size, seed:
     chunks = plan_chunks(
         grid.dynamics, seed_nodes, params,
         seeds_per_chunk=seeds_per_chunk, engine=grid.engine,
+        refiners=refiners,
     )
 
     # Always fingerprint: the manifest hook needs it even without a cache.
@@ -478,6 +595,7 @@ max_cluster_size, seed:
         cache_hits=cache_hits,
         num_workers=num_workers,
         grid=grid,
+        refiners=refiners,
         fingerprint=fingerprint,
         seed_nodes=tuple(int(s) for s in seed_nodes),
         wall_seconds=time.perf_counter() - start_time,

@@ -21,9 +21,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import check_int
-from repro.exceptions import PartitionError
+from repro.diffusion._csr import gather_csr_arcs
+from repro.exceptions import InvalidParameterError, PartitionError
 from repro.partition.metrics import conductance
 from repro.partition.mqi import mqi
+
+_IMPLEMENTATIONS = ("vectorized", "scalar")
 
 
 @dataclass
@@ -42,6 +45,13 @@ class FlowImproveResult:
         BFS hops of dilation used.
     improved:
         Whether the output strictly beats the proposal.
+    rounds:
+        Improving MQI rounds performed inside the dilated region (0 when
+        the flow stage was skipped).
+    converged:
+        Whether the inner MQI reached its fixed point.  ``False`` means
+        ``max_rounds`` was exhausted mid-improvement (see
+        :class:`~repro.partition.mqi.MQIResult.converged`).
     """
 
     nodes: np.ndarray
@@ -49,11 +59,44 @@ class FlowImproveResult:
     initial_conductance: float
     dilation_radius: int
     improved: bool
+    rounds: int = 0
+    converged: bool = True
 
 
-def dilate(graph, nodes, radius):
-    """All nodes within ``radius`` hops of the set (including the set)."""
+def dilate(graph, nodes, radius, *, implementation="vectorized"):
+    """All nodes within ``radius`` hops of the set (including the set).
+
+    ``implementation="vectorized"`` (the default) expands each BFS
+    frontier with one shared CSR gather (:func:`gather_csr_arcs`) plus a
+    boolean-mask scatter — no per-node Python loop; ``"scalar"`` is the
+    original set-based BFS, kept as the parity oracle (benchmark E14
+    measures the gap).
+    """
     radius = check_int(radius, "radius", minimum=0)
+    if implementation not in _IMPLEMENTATIONS:
+        raise InvalidParameterError(
+            f"implementation must be one of {_IMPLEMENTATIONS}; got "
+            f"{implementation!r}"
+        )
+    if implementation == "scalar":
+        return _dilate_scalar(graph, nodes, radius)
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    frontier = np.unique(np.atleast_1d(np.asarray(nodes, dtype=np.int64)))
+    seen[frontier] = True
+    indptr, indices = graph.indptr, graph.indices
+    for _ in range(radius):
+        if frontier.size == 0:
+            break
+        arcs, _counts = gather_csr_arcs(indptr, frontier)
+        neighbors = indices[arcs]
+        fresh = np.unique(neighbors[~seen[neighbors]])
+        seen[fresh] = True
+        frontier = fresh
+    return np.flatnonzero(seen).astype(np.int64)
+
+
+def _dilate_scalar(graph, nodes, radius):
+    """Scalar parity oracle: the original pure-Python set-based BFS."""
     frontier = set(int(u) for u in nodes)
     seen = set(frontier)
     for _ in range(radius):
@@ -128,6 +171,8 @@ def flow_improve(graph, nodes, *, dilation_radius=1, max_rounds=50):
             initial_conductance=initial_phi,
             dilation_radius=dilation_radius,
             improved=True,
+            rounds=result.rounds,
+            converged=result.converged,
         )
     return FlowImproveResult(
         nodes=base,
@@ -135,4 +180,6 @@ def flow_improve(graph, nodes, *, dilation_radius=1, max_rounds=50):
         initial_conductance=initial_phi,
         dilation_radius=dilation_radius,
         improved=False,
+        rounds=result.rounds,
+        converged=result.converged,
     )

@@ -6,7 +6,10 @@ from a seed set — any single-point spec from the unified dynamics registry
 its support only, so that the total work — diffusion plus sweep — depends
 on the output size, not on ``n``.  The spec supplies the diffusion
 vectors; dynamics whose trajectory matters (the truncated walk) yield one
-vector per step and the driver keeps the best cut, as Nibble does.
+vector per step and the driver keeps the best cut, as Nibble does.  A
+:class:`~repro.refine.Pipeline` (or the ``refiners=...`` keyword) chains
+registered refiners — MQI, FlowImprove, MOV — onto the sweep cluster,
+with per-stage provenance on the result.
 
 The pre-registry per-dynamics drivers remain as thin spec-constructing
 deprecation shims:
@@ -26,6 +29,7 @@ work accounting used by experiment E8.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,7 +44,7 @@ from repro.dynamics import (
     get_dynamics,
     warn_deprecated,
 )
-from repro.exceptions import PartitionError
+from repro.exceptions import InvalidParameterError, PartitionError
 from repro.partition.sweep import sweep_cut
 
 
@@ -67,6 +71,11 @@ class LocalClusterResult:
         Whether every seed node ended up inside the cluster — Section 3.3
         warns this can be False ("a seed node not being part of 'its own
         cluster' can easily happen"), and experiment E9 counts how often.
+    refinement:
+        Per-stage :class:`~repro.refine.RefinementStep` provenance when a
+        refiner chain post-processed the sweep cluster; empty otherwise.
+        ``nodes``/``conductance``/``contains_seed`` describe the refined
+        cluster; ``support_size``/``work`` keep the diffusion accounting.
     """
 
     nodes: np.ndarray
@@ -76,6 +85,7 @@ class LocalClusterResult:
     work: int
     method: str
     contains_seed: bool
+    refinement: tuple = ()
 
 
 def _finish(graph, scores, restrict_to, seed_nodes, work, method,
@@ -110,7 +120,7 @@ def _as_point_spec(graph, dynamics):
 
 
 def local_cluster(graph, seed_nodes, dynamics="ppr", *, epsilon=1e-4,
-                  max_volume=None, min_size=1):
+                  max_volume=None, min_size=1, refiners=()):
     """Local cluster via one registered dynamics' diffusion + sweep.
 
     Parameters
@@ -126,6 +136,9 @@ def local_cluster(graph, seed_nodes, dynamics="ppr", *, epsilon=1e-4,
         resolves to the dynamics' default local point spec (the walk's
         default step count depends on the graph size).  Grid-valued specs
         are rejected: a local driver needs one aggressiveness point.
+        A :class:`~repro.refine.Pipeline` is accepted too: its dynamics
+        spec drives the diffusion and its refiner chain post-processes
+        the sweep cluster (exclusive with the ``refiners`` keyword).
     epsilon:
         Truncation threshold; smaller ε = larger support = weaker
         regularization.
@@ -133,6 +146,10 @@ def local_cluster(graph, seed_nodes, dynamics="ppr", *, epsilon=1e-4,
         Optional volume cap on the sweep (Problem (9)'s k).
     min_size:
         Minimum cluster size accepted by the sweep.
+    refiners:
+        Optional refiner chain (:mod:`repro.refine` specs, names, or
+        aliases) applied to the best sweep cluster; per-stage provenance
+        lands in ``LocalClusterResult.refinement``.
 
     Returns
     -------
@@ -145,6 +162,17 @@ def local_cluster(graph, seed_nodes, dynamics="ppr", *, epsilon=1e-4,
     Nibble does.  Single-vector dynamics (ACL push, heat-kernel push)
     reduce to one diffusion + one sweep.
     """
+    from repro.refine import Pipeline, apply_refiners, as_refiner_chain
+
+    if isinstance(dynamics, Pipeline):
+        if refiners:
+            raise InvalidParameterError(
+                "local_cluster received both a Pipeline and a refiners "
+                "keyword; the pipeline carries the full chain"
+            )
+        refiners = dynamics.refiners
+        dynamics = dynamics.grid.dynamics
+    chain = as_refiner_chain(refiners)
     spec = _as_point_spec(graph, dynamics)
     epsilon = check_probability(epsilon, "epsilon")
     method = spec.local_method
@@ -169,6 +197,22 @@ def local_cluster(graph, seed_nodes, dynamics="ppr", *, epsilon=1e-4,
         raise PartitionError(
             f"{method}: no diffusion vector produced an admissible sweep"
         )
+    if chain:
+        trace = apply_refiners(
+            graph, best.nodes, chain, pre_conductance=best.conductance
+        )
+        if trace.changed:
+            best = dataclasses.replace(
+                best,
+                nodes=trace.nodes,
+                conductance=trace.final_conductance,
+                contains_seed=bool(
+                    np.isin(best.seed_nodes, trace.nodes).all()
+                ),
+                refinement=trace.steps,
+            )
+        else:
+            best = dataclasses.replace(best, refinement=trace.steps)
     return best
 
 

@@ -23,6 +23,7 @@ stringy (the Figure 1 tradeoff).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,6 +51,11 @@ class MQIResult:
         Number of improving max-flow rounds performed.
     history:
         Conductance after each round (strictly decreasing).
+    converged:
+        Whether a round found no improving subset (the fixed point was
+        reached).  ``False`` means ``max_rounds`` was exhausted while
+        rounds were still improving, so the result may not be
+        subset-optimal; :func:`mqi` also warns in that case.
     """
 
     nodes: np.ndarray
@@ -57,6 +63,7 @@ class MQIResult:
     initial_conductance: float
     rounds: int
     history: list = field(default_factory=list)
+    converged: bool = True
 
 
 def _one_round(graph, side):
@@ -133,14 +140,23 @@ def mqi(graph, nodes, *, max_rounds=100):
         )
     initial_phi = conductance(graph, side)
     history = []
-    rounds = 0
     current = side
-    for rounds in range(max_rounds):
+    converged = False
+    for _ in range(max_rounds):
         improved = _one_round(graph, current)
         if improved is None:
+            converged = True
             break
         current = improved
         history.append(conductance(graph, current))
+    if not converged:
+        warnings.warn(
+            f"mqi exhausted max_rounds={max_rounds} while rounds were "
+            f"still improving; the result may not be subset-optimal "
+            f"(MQIResult.converged is False)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     final_phi = conductance(graph, current)
     return MQIResult(
         nodes=np.sort(current),
@@ -148,6 +164,7 @@ def mqi(graph, nodes, *, max_rounds=100):
         initial_conductance=initial_phi,
         rounds=len(history),
         history=history,
+        converged=converged,
     )
 
 

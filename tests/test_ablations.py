@@ -28,10 +28,10 @@ class TestMQIAblation:
     def test_mqi_improves_flow_ensemble(self):
         graph = whiskered_expander(120, 4, 12, 6, seed=3)
         with_mqi = flow_cluster_ensemble_ncp(
-            graph, min_size=4, seed=0, improve_with_mqi=True
+            graph, min_size=4, seed=0, refiners=("mqi",)
         )
         without_mqi = flow_cluster_ensemble_ncp(
-            graph, min_size=4, seed=0, improve_with_mqi=False
+            graph, min_size=4, seed=0, refiners=()
         )
         best_with = min(c.conductance for c in with_mqi)
         best_without = min(c.conductance for c in without_mqi)
@@ -40,10 +40,10 @@ class TestMQIAblation:
     def test_mqi_strictly_helps_on_atp(self):
         graph = synthetic_atp_dblp(scale="tiny", seed=5).graph
         with_mqi = flow_cluster_ensemble_ncp(
-            graph, min_size=4, seed=1, improve_with_mqi=True
+            graph, min_size=4, seed=1, refiners=("mqi",)
         )
         without_mqi = flow_cluster_ensemble_ncp(
-            graph, min_size=4, seed=1, improve_with_mqi=False
+            graph, min_size=4, seed=1, refiners=()
         )
         # Averaged over mid-size candidates, MQI lowers conductance.
         def mean_phi(candidates):

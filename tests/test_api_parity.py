@@ -17,6 +17,7 @@ from repro.dynamics import DiffusionGrid, HeatKernel, LazyWalk, PPR
 from repro.ncp.compare import figure1_comparison
 from repro.ncp.profile import (
     cluster_ensemble_ncp,
+    flow_cluster_ensemble_ncp,
     grid_candidates_for_seed_nodes,
     hk_cluster_ensemble_ncp,
     hk_candidates_for_seed_nodes,
@@ -239,6 +240,57 @@ class TestLocalShimParity:
         )
         assert cluster_signature(old) == cluster_signature(new)
         assert old.method == "hk"
+
+
+class TestFlowEnsembleShimParity:
+    """The pre-registry ``improve_with_mqi``/``max_mqi_size`` keywords
+    against the registry-driven ``refiners``/``max_refine_size`` path:
+    candidate-for-candidate identity on the reference graphs."""
+
+    def test_improve_with_mqi_true_matches_mqi_chain(self, whiskered):
+        with pytest.warns(DeprecationWarning, match="repro API deprecation"):
+            old = flow_cluster_ensemble_ncp(
+                whiskered, min_size=4, seed=0, improve_with_mqi=True
+            )
+        new = flow_cluster_ensemble_ncp(
+            whiskered, min_size=4, seed=0, refiners=("mqi",)
+        )
+        assert len(old) > 0
+        assert candidate_signature(old) == candidate_signature(new)
+
+    def test_improve_with_mqi_false_matches_empty_chain(self, whiskered):
+        with pytest.warns(DeprecationWarning):
+            old = flow_cluster_ensemble_ncp(
+                whiskered, min_size=4, seed=0, improve_with_mqi=False
+            )
+        new = flow_cluster_ensemble_ncp(
+            whiskered, min_size=4, seed=0, refiners=()
+        )
+        assert candidate_signature(old) == candidate_signature(new)
+
+    def test_max_mqi_size_maps_to_max_refine_size(self, whiskered):
+        with pytest.warns(DeprecationWarning):
+            old = flow_cluster_ensemble_ncp(
+                whiskered, min_size=4, seed=0, max_mqi_size=8
+            )
+        new = flow_cluster_ensemble_ncp(
+            whiskered, min_size=4, seed=0, max_refine_size=8
+        )
+        assert candidate_signature(old) == candidate_signature(new)
+
+    def test_parity_on_reference_graph(self):
+        from repro.datasets import load_graph
+
+        graph = load_graph("atp")
+        with pytest.warns(DeprecationWarning):
+            old = flow_cluster_ensemble_ncp(
+                graph, min_size=4, seed=1, improve_with_mqi=True
+            )
+        new = flow_cluster_ensemble_ncp(
+            graph, min_size=4, seed=1, refiners=("mqi",)
+        )
+        assert len(old) > 0
+        assert candidate_signature(old) == candidate_signature(new)
 
 
 class TestFigure1ShimParity:

@@ -305,6 +305,50 @@ class TestFlowInvariants:
         assert result.conductance <= conductance(graph, side) + 1e-9
 
 
+class TestRefinerInvariants:
+    """Registry-wide refiner contracts: every registered refiner maps a
+    nonempty proper subset to a nonempty proper subset and never
+    increases conductance — on arbitrary inputs, including ones that
+    violate a refiner's own preconditions (those pass through
+    unchanged)."""
+
+    @given(connected_graphs(min_nodes=4), st.integers(0, 10_000))
+    def test_every_registered_refiner_contract(self, graph, salt):
+        from repro.partition.metrics import conductance
+        from repro.refine import apply_refiners, registered_refiners
+
+        rng = np.random.default_rng(salt)
+        k = int(rng.integers(1, graph.num_nodes))
+        side = np.sort(rng.choice(graph.num_nodes, size=k, replace=False))
+        if side.size == graph.num_nodes:
+            side = side[:-1]
+        phi = conductance(graph, side)
+        for key, kind in registered_refiners().items():
+            trace = apply_refiners(graph, side, (kind.default_spec(),))
+            assert trace.final_conductance <= phi + 1e-9, key
+            assert trace.final_conductance == pytest.approx(
+                conductance(graph, trace.nodes)
+            ), key
+            assert 0 < trace.nodes.size < graph.num_nodes, key
+            assert np.array_equal(trace.nodes, np.unique(trace.nodes)), key
+
+    @given(connected_graphs(min_nodes=4), st.integers(0, 10_000))
+    def test_chain_is_monotone_stage_by_stage(self, graph, salt):
+        from repro.refine import apply_refiners
+
+        rng = np.random.default_rng(salt)
+        k = int(rng.integers(1, max(2, graph.num_nodes // 2)))
+        side = rng.choice(graph.num_nodes, size=k, replace=False)
+        trace = apply_refiners(graph, side, ("mqi", "flow"))
+        previous = trace.initial_conductance
+        for step in trace.steps:
+            assert step.pre_conductance == pytest.approx(previous)
+            assert step.post_conductance <= step.pre_conductance + 1e-12
+            if not step.changed:
+                assert step.post_conductance == step.pre_conductance
+            previous = step.post_conductance
+
+
 class TestRegularizationInvariants:
     @given(connected_graphs(min_nodes=4, max_nodes=12),
            st.floats(0.2, 8.0))

@@ -23,6 +23,11 @@ from repro.dynamics import (
     registered_dynamics,
 )
 from repro.graph.generators import ring_of_cliques
+from repro.refine import (
+    Pipeline,
+    get_refiner,
+    registered_refiners,
+)
 
 PACKAGES = [
     "repro",
@@ -36,6 +41,7 @@ PACKAGES = [
     "repro.linalg",
     "repro.ncp",
     "repro.partition",
+    "repro.refine",
     "repro.regularization",
 ]
 
@@ -136,6 +142,38 @@ def test_every_registered_dynamics_yields_columns():
         assert all(column.shape == (graph.num_nodes,) for column in columns)
 
 
+def test_every_registered_refiner_instantiates():
+    """CI satellite: the public-api-smoke job instantiates every refiner.
+
+    Each registry entry must produce a default spec that round-trips
+    through the registry, carries a deterministic token, rebuilds from
+    its own params, and composes into a :class:`Pipeline`.
+    """
+    graph = ring_of_cliques(4, 5)
+    kinds = registered_refiners()
+    assert set(kinds) >= {"mqi", "flow", "mov"}
+    for key, kind in kinds.items():
+        spec = kind.default_spec()
+        assert get_refiner(spec) is kind, key
+        assert get_refiner(key) is kind, key
+        for alias in kind.aliases:
+            assert get_refiner(alias) is kind, (key, alias)
+        assert spec.token().startswith(f"{key}("), key
+        assert kind.spec_type(**dict(spec.params())) == spec, key
+        assert kind.description.strip(), key
+
+        pipeline = Pipeline("ppr", refiners=(spec,))
+        assert pipeline.refiners == (spec,), key
+        assert pipeline.refiner_tokens() == (spec.token(),), key
+
+        # Every refiner honors the registry-wide invariant on a real set.
+        from repro.refine import apply_refiners
+
+        trace = apply_refiners(graph, list(range(5)), (spec,))
+        assert trace.final_conductance <= trace.initial_conductance + 1e-9
+        assert 0 < trace.nodes.size < graph.num_nodes, key
+
+
 def test_facade_and_subpackage_exports_agree():
     import repro
     import repro.api as api
@@ -145,3 +183,6 @@ def test_facade_and_subpackage_exports_agree():
     assert api.canonical_dynamics() == repro.canonical_dynamics()
     assert api.PPR is repro.PPR
     assert api.DiffusionGrid is repro.DiffusionGrid
+    assert api.get_refiner("mqi") is repro.get_refiner("mqi")
+    assert api.MQI is repro.MQI
+    assert api.Pipeline is repro.Pipeline
