@@ -21,8 +21,9 @@ def add_graph_arguments(parser, *, default=None):
         required=default is None,
         metavar="NAME|PATH",
         help=(
-            f"workload graph: a suite name ({names}) or a path to an "
-            f"edge-list (.tsv) or .json graph file"
+            f"workload graph: a suite name ({names}), a scale-tier name "
+            f"(rmat-*/lfr-*, see 'repro datasets'), or a path to an "
+            f"edge-list (.tsv), .json, or binary .reprograph graph file"
         ),
     )
     parser.add_argument(

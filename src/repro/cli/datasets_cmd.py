@@ -7,9 +7,18 @@ from pathlib import Path
 from repro.cli import manifest as manifest_mod
 from repro.cli._common import Stopwatch, ensure_out_dir
 from repro.core.reporting import format_markdown_table, format_table
+from repro.datasets.scale import SCALE_SUITE
 from repro.datasets.suite import describe, load_graph, suite_names
 from repro.exceptions import InvalidParameterError
-from repro.graph.io import write_edge_list
+from repro.graph.io import write_edge_list, write_json
+from repro.graph.storage import write_binary
+
+# --export serializers: writer + the default output suffix each implies.
+_EXPORT_FORMATS = {
+    "edgelist": (write_edge_list, ".tsv"),
+    "json": (write_json, ".json"),
+    "binary": (write_binary, ".reprograph"),
+}
 
 
 def configure_parser(subparsers):
@@ -41,14 +50,23 @@ def configure_parser(subparsers):
         "--export",
         metavar="NAME",
         default=None,
-        help="write a suite graph as an edge-list file (see --out)",
+        help="write a suite graph to a file (see --format and --out)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(_EXPORT_FORMATS),
+        default="edgelist",
+        help="serialization for --export: edgelist (.tsv text), json, or "
+             "binary (.reprograph, memory-mapped on load — use this for "
+             "scale-tier graphs) (default: edgelist)",
     )
     parser.add_argument(
         "--out",
         metavar="PATH",
         default=None,
-        help="output path for --export (default: <name>.tsv in the "
-             "current directory); a run manifest is written next to it",
+        help="output path for --export (default: <name> plus the "
+             "format's suffix, in the current directory); a run manifest "
+             "is written next to it",
     )
     parser.add_argument(
         "--seed",
@@ -66,24 +84,31 @@ def _rows(seed):
     for name in suite_names():
         graph = load_graph(name, seed=seed)
         rows.append([name, graph.num_nodes, graph.num_edges, describe(name)])
+    # Scale-tier rows report design targets instead of building: listing
+    # the suite must never cost a multi-million-edge generation.
+    for name in sorted(SCALE_SUITE):
+        spec = SCALE_SUITE[name]
+        rows.append([name, f"~{spec.approx_nodes}", f"~{spec.approx_edges}",
+                     spec.role])
     return rows
 
 
 def _run_export(args):
     watch = Stopwatch()
     graph = load_graph(args.export, seed=args.seed)
-    out = Path(args.out) if args.out else Path(f"{args.export}.tsv")
+    writer, suffix = _EXPORT_FORMATS[args.format]
+    out = Path(args.out) if args.out else Path(f"{args.export}{suffix}")
     ensure_out_dir(out.parent)
-    write_edge_list(graph, out)
+    writer(graph, out)
     record = manifest_mod.graph_record(
         graph, source=args.export, graph_seed=args.seed
     )
     built = manifest_mod.build_manifest(
         "datasets",
         arguments={"export": args.export, "seed": args.seed,
-                   "out": str(out)},
+                   "format": args.format, "out": str(out)},
         replay_argv=["datasets", "--export", args.export,
-                     "--seed", str(args.seed)],
+                     "--format", args.format, "--seed", str(args.seed)],
         graph=record,
         outputs=[out.name],
         wall_seconds=watch.elapsed(),
@@ -110,6 +135,20 @@ def run(args):
     if args.describe:
         name = args.describe
         role = describe(name)  # raises UnknownGraphError with a hint
+        if name in SCALE_SUITE:
+            # Describing must stay instant; report the design targets and
+            # leave generation to --export / --graph.
+            spec = SCALE_SUITE[name]
+            print(format_table(
+                ["field", "value"],
+                [["name", name],
+                 ["role", role],
+                 ["nodes", f"~{spec.approx_nodes} (target, not built)"],
+                 ["edges", f"~{spec.approx_edges} (target, not built)"],
+                 ["tier", "scale"]],
+                title=f"scale-tier graph {name!r}",
+            ))
+            return 0
         graph = load_graph(name, seed=args.seed)
         print(format_table(
             ["field", "value"],

@@ -1,5 +1,20 @@
-"""Synthetic datasets: the AtP-DBLP stand-in and the named graph suite."""
+"""Synthetic datasets: the AtP-DBLP stand-in and the named graph suites.
 
+Two tiers: the reference suite (:mod:`repro.datasets.suite`, hundreds of
+nodes, built eagerly everywhere) and the scale tier
+(:mod:`repro.datasets.scale`, R-MAT / LFR-style generators reaching
+millions of edges, built only on explicit request).
+"""
+
+from repro.datasets.scale import (
+    SCALE_SUITE,
+    ScaleGraphSpec,
+    lfr_graph,
+    load_scale_graph,
+    rmat_graph,
+    scale_describe,
+    scale_suite_names,
+)
 from repro.datasets.suite import (
     UnknownGraphError,
     describe,
@@ -17,12 +32,19 @@ from repro.datasets.synthetic_dblp import (
 
 __all__ = [
     "AtPDataset",
+    "SCALE_SUITE",
+    "ScaleGraphSpec",
     "UnknownGraphError",
     "attach_whisker_chains",
     "describe",
+    "lfr_graph",
     "load_any_graph",
     "load_graph",
+    "load_scale_graph",
     "load_suite",
+    "rmat_graph",
+    "scale_describe",
+    "scale_suite_names",
     "suite_names",
     "synthetic_atp_dblp",
     "synthetic_coauthorship",

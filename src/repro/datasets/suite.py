@@ -42,14 +42,23 @@ class UnknownGraphError(InvalidParameterError, KeyError):
     __str__ = Exception.__str__
 
 
+def _scale_suite():
+    """The scale-tier registry, imported lazily (cheap, but keeps the
+    reference suite importable even if the scale module grows heavier)."""
+    from repro.datasets.scale import SCALE_SUITE
+
+    return SCALE_SUITE
+
+
 def _unknown_graph(name, *, extra=""):
     """Build the :class:`UnknownGraphError` with a did-you-mean hint."""
+    known = suite_names() + sorted(_scale_suite())
     close = difflib.get_close_matches(
-        str(name).strip().lower(), suite_names(), n=3, cutoff=0.5
+        str(name).strip().lower(), known, n=3, cutoff=0.5
     )
     hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
     return UnknownGraphError(
-        f"unknown suite graph {name!r}; choose from {suite_names()}{extra}{hint}"
+        f"unknown suite graph {name!r}; choose from {known}{extra}{hint}"
     )
 
 
@@ -95,26 +104,43 @@ _SUITE = {
 
 
 def suite_names():
-    """Names of all suite graphs."""
+    """Names of the reference-tier suite graphs.
+
+    Scale-tier names (:func:`repro.datasets.scale.scale_suite_names`) are
+    deliberately *not* included: everything here is cheap enough to build
+    eagerly (listings, ``load_suite``), which million-edge graphs are not.
+    :func:`load_graph`, :func:`describe`, and :func:`load_any_graph` all
+    accept names from either tier.
+    """
     return sorted(_SUITE)
 
 
 def load_graph(name, seed=0):
-    """Build a suite graph by name (largest component, deterministic)."""
-    if name not in _SUITE:
-        raise _unknown_graph(name)
-    builder, _role = _SUITE[name]
-    graph = builder(seed)
-    if not graph.is_connected():
-        graph, _ = graph.largest_component()
-    return graph
+    """Build a suite graph by name (largest component, deterministic).
+
+    Accepts both reference-tier names (``"atp"``, ``"barbell"``, ...) and
+    scale-tier names (``"rmat-18"``, ``"lfr-50k"``, ...).
+    """
+    if name in _SUITE:
+        builder, _role = _SUITE[name]
+        graph = builder(seed)
+        if not graph.is_connected():
+            graph, _ = graph.largest_component()
+        return graph
+    scale_suite = _scale_suite()
+    if name in scale_suite:
+        return scale_suite[name].build(seed)
+    raise _unknown_graph(name)
 
 
 def describe(name):
-    """Human-readable role of a suite graph."""
-    if name not in _SUITE:
-        raise _unknown_graph(name)
-    return _SUITE[name][1]
+    """Human-readable role of a suite graph (either tier)."""
+    if name in _SUITE:
+        return _SUITE[name][1]
+    scale_suite = _scale_suite()
+    if name in scale_suite:
+        return scale_suite[name].role
+    raise _unknown_graph(name)
 
 
 def load_any_graph(source, *, seed=0):
@@ -124,8 +150,12 @@ def load_any_graph(source, *, seed=0):
     workload entry point (notably the ``python -m repro`` CLI) accepts
     arbitrary user-supplied graphs with the same one-argument vocabulary:
 
-    * a suite name (``"atp"``, ``"barbell"``, ...) builds that suite graph
+    * a suite name — reference tier (``"atp"``, ``"barbell"``, ...) or
+      scale tier (``"rmat-18"``, ``"lfr-50k"``, ...) — builds that graph
       via :func:`load_graph` (``seed`` feeds the generator);
+    * a path to an existing ``.reprograph`` binary file is memory-mapped
+      via :func:`repro.graph.storage.read_binary` (zero-copy; pages
+      fault in as algorithms touch them);
     * a path to an existing ``.json`` file reads
       :func:`repro.graph.io.read_json` output;
     * any other existing path is parsed as an edge-list text file
@@ -134,11 +164,13 @@ def load_any_graph(source, *, seed=0):
 
     External graphs get the same normalization the suite applies: if the
     file's graph is disconnected, the largest connected component is
-    returned.  Because the component's nodes are **relabeled** to a
-    compact ``0..n-1`` range, any node ids from the original file (e.g.
-    explicit ``repro cluster --seeds`` ids) no longer apply; a
-    ``UserWarning`` reporting the dropped node count flags this loudly
-    instead of letting ids shift silently.
+    returned (computed with the vectorized scale-tier helpers, so this
+    stays cheap even for multi-million-edge files).  Because the
+    component's nodes are **relabeled** to a compact ``0..n-1`` range,
+    any node ids from the original file (e.g. explicit ``repro cluster
+    --seeds`` ids) no longer apply; a ``UserWarning`` reporting the
+    dropped node count flags this loudly instead of letting ids shift
+    silently.
 
     Raises
     ------
@@ -149,17 +181,29 @@ def load_any_graph(source, *, seed=0):
         suggestion).
     """
     name = str(source)
-    if name in _SUITE:
+    if name in _SUITE or name in _scale_suite():
         return load_graph(name, seed=seed)
     path = Path(name)
     if path.is_file():
+        from repro.graph.build import (
+            connected_component_labels,
+            largest_component_fast,
+        )
         from repro.graph.io import read_edge_list, read_json
+        from repro.graph.storage import BINARY_SUFFIX, read_binary
 
-        reader = read_json if path.suffix.lower() == ".json" else read_edge_list
+        suffix = path.suffix.lower()
+        if suffix == BINARY_SUFFIX:
+            reader = read_binary
+        elif suffix == ".json":
+            reader = read_json
+        else:
+            reader = read_edge_list
         graph = reader(path)
-        if not graph.is_connected():
+        _labels, component_count = connected_component_labels(graph)
+        if graph.num_nodes and component_count > 1:
             full_size = graph.num_nodes
-            graph, _original_ids = graph.largest_component()
+            graph, _original_ids = largest_component_fast(graph)
             warnings.warn(
                 f"graph file {name!r} is disconnected: kept the largest "
                 f"component ({graph.num_nodes} of {full_size} nodes) and "

@@ -1,13 +1,21 @@
 """Graph substrate: data structure, builders, matrices, generators, I/O."""
 
 from repro.graph.build import (
+    connected_component_labels,
     empty_graph,
     from_dense,
     from_edges,
     from_scipy_sparse,
+    induced_subgraph_fast,
+    largest_component_fast,
     union_disjoint,
 )
 from repro.graph.graph import Graph
+from repro.graph.storage import (
+    peek_binary_header,
+    read_binary,
+    write_binary,
+)
 from repro.graph.matrices import (
     adjacency_matrix,
     combinatorial_laplacian,
@@ -23,11 +31,17 @@ from repro.graph.matrices import (
 
 __all__ = [
     "Graph",
+    "connected_component_labels",
     "empty_graph",
     "from_dense",
     "from_edges",
     "from_scipy_sparse",
+    "induced_subgraph_fast",
+    "largest_component_fast",
+    "peek_binary_header",
+    "read_binary",
     "union_disjoint",
+    "write_binary",
     "adjacency_matrix",
     "combinatorial_laplacian",
     "degree_matrix",

@@ -4,31 +4,194 @@ Formats
 -------
 Edge list (``.tsv``-style): one edge per line, ``u<TAB>v[<TAB>weight]``,
 lines starting with ``#`` ignored. The node count is ``max id + 1`` unless
-given explicitly.
+given explicitly. Node ids must be nonnegative integers (an integral
+value with a decimal point, e.g. ``3.0``, is accepted by the fast
+parser).
 
 JSON: ``{"num_nodes": n, "edges": [[u, v, w], ...]}``. Round-trips exactly
 (weights are floats).
+
+Both directions stream: reading parses the file in bounded chunks
+through NumPy's C tokenizer (a real SNAP-format edge list ingests at
+array speed, with a per-line re-parse only on malformed input so errors
+still carry exact ``file:line`` context), and writing emits bounded
+blocks of lines so exporting a scale-tier graph never materializes the
+whole file — or the whole edge set — in memory.
+
+The binary ``.reprograph`` format for memory-mapped loading lives in
+:mod:`repro.graph.storage`.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import warnings
 from pathlib import Path
+
+import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graph.build import from_edges
 
+# Bytes of text parsed per chunk while reading, and undirected edges
+# formatted per block while writing.  Both bound peak memory without
+# giving up vectorized inner loops.
+_READ_BLOCK_BYTES = 1 << 22
+_WRITE_BLOCK_EDGES = 1 << 16
+
+
+def _iter_edge_blocks(graph, *, rows_per_block=None):
+    """Yield ``(us, vs, ws)`` blocks of undirected edges, ``u < v``.
+
+    Iterates the CSR arrays a bounded slab of rows at a time, in the
+    same (u ascending, v ascending) order ``Graph.edges()`` produces,
+    without ever materializing the full edge list.
+    """
+    if rows_per_block is None:
+        rows_per_block = _WRITE_BLOCK_EDGES
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    n = graph.num_nodes
+    for row0 in range(0, n, rows_per_block):
+        row1 = min(row0 + rows_per_block, n)
+        arc0, arc1 = int(indptr[row0]), int(indptr[row1])
+        if arc0 == arc1:
+            continue
+        src = np.repeat(
+            np.arange(row0, row1, dtype=np.int64),
+            np.diff(indptr[row0:row1 + 1]),
+        )
+        dst = indices[arc0:arc1]
+        keep = src < dst
+        if not np.any(keep):
+            # Every arc in this slab is the duplicate (u > v) direction;
+            # an empty block would make the writer emit a bare newline.
+            continue
+        yield src[keep], dst[keep], weights[arc0:arc1][keep]
+
 
 def write_edge_list(graph, path, *, write_weights=True):
-    """Write the graph as an edge-list text file."""
+    """Write the graph as an edge-list text file (streamed)."""
     path = Path(path)
-    lines = [f"# repro graph: {graph.num_nodes} nodes, {graph.num_edges} edges"]
-    for u, v, w in graph.edges():
-        if write_weights:
-            lines.append(f"{u}\t{v}\t{w!r}")
-        else:
-            lines.append(f"{u}\t{v}")
-    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(
+            f"# repro graph: {graph.num_nodes} nodes, "
+            f"{graph.num_edges} edges\n"
+        )
+        for us, vs, ws in _iter_edge_blocks(graph):
+            if write_weights:
+                lines = [
+                    f"{u}\t{v}\t{w!r}"
+                    for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist())
+                ]
+            else:
+                lines = [
+                    f"{u}\t{v}" for u, v in zip(us.tolist(), vs.tolist())
+                ]
+            handle.write("\n".join(lines) + "\n")
+
+
+def _iter_line_chunks(handle, *, block_bytes=None):
+    """Yield ``(chunk_bytes, first_line_number)`` split on line boundaries."""
+    if block_bytes is None:
+        block_bytes = _READ_BLOCK_BYTES
+    first_line = 1
+    carry = b""
+    while True:
+        block = handle.read(block_bytes)
+        if not block:
+            if carry:
+                yield carry, first_line
+            return
+        block = carry + block
+        cut = block.rfind(b"\n")
+        if cut < 0:
+            carry = block
+            continue
+        chunk, carry = block[:cut + 1], block[cut + 1:]
+        yield chunk, first_line
+        first_line += chunk.count(b"\n")
+
+
+def _parse_chunk_slow(path, chunk, first_line):
+    """Line-by-line parse of one chunk: exact errors, mixed columns ok."""
+    edges, weights = [], []
+    for offset, raw in enumerate(
+        chunk.decode("utf-8", errors="replace").splitlines()
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError(
+                f"{path}:{first_line + offset}: expected 'u v [weight]'; "
+                f"got {raw!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError as exc:
+            raise GraphError(
+                f"{path}:{first_line + offset}: unparseable edge {raw!r}"
+            ) from exc
+        edges.append((u, v))
+        weights.append(w)
+    if not edges:
+        return None
+    return (
+        np.asarray(edges, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def _parse_chunk(path, chunk, first_line):
+    """Parse one chunk of edge-list text into ``(ids, weights)`` arrays.
+
+    The fast path hands the whole chunk to :func:`np.loadtxt`'s C
+    tokenizer; anything it cannot digest (ragged rows, non-numeric
+    tokens, non-integral ids) falls back to the per-line parser, which
+    either succeeds (legal mixed 2/3-column chunks) or raises
+    :class:`~repro.exceptions.GraphError` with ``file:line`` context.
+    """
+    try:
+        with warnings.catch_warnings():
+            # An all-comment chunk is legal input, not worth a
+            # "loadtxt: input contained no data" warning.
+            warnings.simplefilter("ignore")
+            table = np.loadtxt(
+                io.BytesIO(chunk), comments="#", dtype=np.float64, ndmin=2
+            )
+    except Exception:
+        return _parse_chunk_slow(path, chunk, first_line)
+    if table.size == 0:
+        return None
+    if table.shape[1] not in (2, 3):
+        return _parse_chunk_slow(path, chunk, first_line)
+    ids = table[:, :2].astype(np.int64)
+    if not np.array_equal(ids, table[:, :2]):
+        return _parse_chunk_slow(path, chunk, first_line)
+    if table.shape[1] == 3:
+        weights = table[:, 2].copy()
+    else:
+        weights = np.ones(table.shape[0])
+    return ids, weights
+
+
+def _first_negative_id_line(path):
+    """Locate the first data line carrying a negative node id."""
+    with open(path, "rb") as handle:
+        for line_no, raw in enumerate(handle, 1):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if int(float(parts[0])) < 0 or int(float(parts[1])) < 0:
+                    return line_no, line
+            except (ValueError, IndexError):
+                continue
+    return None, ""
 
 
 def read_edge_list(path, *, num_nodes=None):
@@ -41,27 +204,40 @@ def read_edge_list(path, *, num_nodes=None):
     num_nodes:
         Optional explicit node count (must cover every id in the file);
         defaults to ``max id + 1``.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines, negative node ids (NumPy would otherwise
+        wrap them around to the top of the id range and silently corrupt
+        the CSR), or a ``num_nodes`` that does not cover the file — each
+        with ``file:line`` context where a specific line is at fault.
     """
     path = Path(path)
-    edges, weights = [], []
-    max_id = -1
-    for line_no, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split()
-        if len(parts) not in (2, 3):
+    id_blocks, weight_blocks = [], []
+    with open(path, "rb") as handle:
+        for chunk, first_line in _iter_line_chunks(handle):
+            parsed = _parse_chunk(path, chunk, first_line)
+            if parsed is None:
+                continue
+            ids, weights = parsed
+            id_blocks.append(ids)
+            weight_blocks.append(weights)
+    if id_blocks:
+        edges = np.concatenate(id_blocks)
+        weights = np.concatenate(weight_blocks)
+        max_id = int(edges.max())
+        if int(edges.min()) < 0:
+            line_no, line = _first_negative_id_line(path)
+            where = f"{path}:{line_no}" if line_no is not None else f"{path}"
             raise GraphError(
-                f"{path}:{line_no}: expected 'u v [weight]'; got {raw!r}"
+                f"{where}: negative node id in edge {line!r}; "
+                f"node ids must be >= 0"
             )
-        try:
-            u, v = int(parts[0]), int(parts[1])
-            w = float(parts[2]) if len(parts) == 3 else 1.0
-        except ValueError as exc:
-            raise GraphError(f"{path}:{line_no}: unparseable edge {raw!r}") from exc
-        edges.append((u, v))
-        weights.append(w)
-        max_id = max(max_id, u, v)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+        weights = np.empty(0, dtype=np.float64)
+        max_id = -1
     n = num_nodes if num_nodes is not None else max_id + 1
     if n <= max_id:
         raise GraphError(

@@ -9,10 +9,14 @@ production levers:
 
 * **Sharding** — the seed grid is split into fixed-size chunks, each
   evaluated through the chunked batch API, optionally on a pool of worker
-  processes. Chunk boundaries are deterministic functions of the inputs
-  (never of the worker count), and chunks are merged in index order, so
-  the candidate ensemble is identical for any ``num_workers`` — and
-  identical to the serial loop.
+  processes. The graph itself crosses the process boundary exactly once,
+  through a :mod:`multiprocessing.shared_memory` segment each worker maps
+  read-only at startup — the pickle channel carries only the lightweight
+  chunk descriptions, so fan-out cost is independent of graph size. Chunk
+  boundaries are deterministic functions of the inputs (never of the
+  worker count), and chunks are merged in index order, so the candidate
+  ensemble is identical for any ``num_workers`` — and identical to the
+  serial loop.
 * **Memoization** — each chunk's candidates can be persisted under a key
   derived from the graph's CSR bytes and the chunk's exact parameters, so
   repeated suite runs (benchmarks, notebook restarts, CI) recompute only
@@ -71,11 +75,12 @@ __all__ = [
     "run_ncp_ensemble",
 ]
 
-# Bump when the candidate-generation semantics change, so stale cache
-# entries from older code are never reused.  (The unified-registry
-# refactor kept both the chunk parameter encoding and the candidate
-# semantics identical, so version 1 entries remain valid.)
-_CACHE_VERSION = 1
+# Bump when the candidate-generation semantics OR the fingerprint scheme
+# change, so stale cache entries from older code are never reused.
+# Version 2: :func:`graph_fingerprint` switched to framed, canonical-
+# dtype hashing (see its docstring) — version 1 entries were keyed by
+# raw-byte hashes that could alias across dtype/shape boundaries.
+_CACHE_VERSION = 2
 
 # Version of the *refined*-chunk cache-key namespace.  Refiner-bearing
 # chunks hash this tag plus the exact refiner chain on top of the base
@@ -230,17 +235,46 @@ class NCPRunResult:
         }
 
 
+# Elements hashed per block by :func:`graph_fingerprint` — bounds the
+# temporary made when canonicalizing a memmapped or int32 array.
+_FINGERPRINT_BLOCK = 1 << 20
+
+
+def _fingerprint_array(digest, tag, array, canonical):
+    """Feed one CSR array into ``digest`` with an explicit frame.
+
+    The frame records the array's role and length, and the bytes are the
+    array converted to its canonical little-endian dtype in bounded
+    blocks — so the hash is a function of the graph's *values*, not of
+    the storage dtype or of where one array happens to end.
+    """
+    array = np.asarray(array)
+    digest.update(f"{tag}:{canonical}:{array.size}|".encode())
+    for start in range(0, array.size, _FINGERPRINT_BLOCK):
+        block = np.ascontiguousarray(
+            array[start:start + _FINGERPRINT_BLOCK], dtype=canonical
+        )
+        digest.update(memoryview(block))
+
+
 def graph_fingerprint(graph):
     """Content hash of a graph's CSR arrays (hex digest).
 
     Two graphs with identical structure and weights share a fingerprint,
     which scopes every memoized chunk to the exact graph it was computed
-    on.
+    on.  Hashing is *framed* and *canonical*: each array contributes a
+    ``tag:dtype:length`` header plus its values converted to a fixed
+    little-endian dtype (int64 ids, float64 weights).  That makes the
+    fingerprint independent of storage details — a graph loaded from a
+    ``.reprograph`` file with int32 on-disk indices hashes identically
+    to the same graph built in memory with int64 indices — while the
+    per-array length framing means no byte sequence can alias across an
+    array boundary.
     """
     digest = hashlib.sha256()
-    digest.update(graph.indptr.tobytes())
-    digest.update(graph.indices.tobytes())
-    digest.update(graph.weights.tobytes())
+    _fingerprint_array(digest, "indptr", graph.indptr, "<i8")
+    _fingerprint_array(digest, "indices", graph.indices, "<i8")
+    _fingerprint_array(digest, "weights", graph.weights, "<f8")
     return digest.hexdigest()
 
 
@@ -422,13 +456,80 @@ def _evaluate_chunk(graph, chunk):
     return candidates
 
 
-def _worker_evaluate(payload):
-    """Process-pool entry point: rebuild the graph, evaluate one chunk."""
-    indptr, indices, weights, chunk = payload
+def _share_graph(graph):
+    """Copy the graph's CSR arrays into one shared-memory segment.
+
+    Returns ``(shm, layout)`` where ``layout`` is a tuple of
+    ``(byte_offset, dtype_str, length)`` triples (indptr, indices,
+    weights, each 8-byte aligned) from which :func:`_attach_shared_graph`
+    rebuilds zero-copy views in a worker process.  The caller owns the
+    segment and must ``close()`` + ``unlink()`` it.
+    """
+    from multiprocessing import shared_memory
+
+    arrays = (
+        np.ascontiguousarray(graph.indptr),
+        np.ascontiguousarray(graph.indices),
+        np.ascontiguousarray(graph.weights),
+    )
+    layout = []
+    offset = 0
+    for array in arrays:
+        offset = (offset + 7) & ~7
+        layout.append((offset, array.dtype.str, int(array.size)))
+        offset += array.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for (start, _, _), array in zip(layout, arrays):
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=shm.buf, offset=start
+        )
+        view[:] = array
+    return shm, tuple(layout)
+
+
+def _attach_shared_graph(shm_name, layout):
+    """Map a :func:`_share_graph` segment back into a read-only Graph."""
+    from multiprocessing import shared_memory
+
+    # Attaching re-registers the name with the resource tracker, but the
+    # tracker process (and its name *set*) is inherited from the parent,
+    # so the parent's single close()+unlink() after the pool drains is
+    # the one cleanup; workers only close their mapping implicitly at
+    # exit.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    arrays = []
+    for start, dtype_str, length in layout:
+        view = np.ndarray(
+            (length,), dtype=np.dtype(dtype_str), buffer=shm.buf,
+            offset=start,
+        )
+        view.setflags(write=False)
+        arrays.append(view)
     from repro.graph.graph import Graph
 
-    graph = Graph(indptr, indices, weights, validate=False)
-    return _evaluate_chunk(graph, chunk)
+    return shm, Graph(arrays[0], arrays[1], arrays[2], validate=False)
+
+
+# Per-worker-process state: the shared graph, attached once by the pool
+# initializer and reused by every chunk the worker evaluates.  The shm
+# handle is kept alive alongside the Graph so the views stay valid.
+_WORKER_SHM = None
+_WORKER_GRAPH = None
+
+
+def _worker_init(shm_name, layout):
+    """Pool initializer: attach the shared graph once per worker."""
+    global _WORKER_SHM, _WORKER_GRAPH
+    _WORKER_SHM, _WORKER_GRAPH = _attach_shared_graph(shm_name, layout)
+
+
+def _worker_evaluate(chunk):
+    """Process-pool entry point: evaluate one chunk on the shared graph.
+
+    Only the chunk travels through the pool's pickle channel; the CSR
+    arrays are the shared-memory views attached by :func:`_worker_init`.
+    """
+    return _evaluate_chunk(_WORKER_GRAPH, chunk)
 
 
 def _legacy_grid(dynamics, num_seeds, alphas, epsilons, ts, steps,
@@ -565,15 +666,25 @@ max_cluster_size, seed:
         if num_workers >= 1:
             from concurrent.futures import ProcessPoolExecutor
 
-            payloads = [
-                (graph.indptr, graph.indices, graph.weights, chunk)
-                for chunk in misses
-            ]
-            with ProcessPoolExecutor(max_workers=num_workers) as pool:
-                for chunk, candidates in zip(
-                    misses, pool.map(_worker_evaluate, payloads)
-                ):
-                    per_chunk[chunk.index] = candidates
+            # The CSR arrays cross the process boundary exactly once,
+            # through a shared-memory segment every worker maps read-only
+            # at startup; the pickle channel carries only GridChunks.
+            # Merge order is by chunk.index regardless, so the ensemble
+            # is byte-identical for any worker count.
+            shm, layout = _share_graph(graph)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=num_workers,
+                    initializer=_worker_init,
+                    initargs=(shm.name, layout),
+                ) as pool:
+                    for chunk, candidates in zip(
+                        misses, pool.map(_worker_evaluate, misses)
+                    ):
+                        per_chunk[chunk.index] = candidates
+            finally:
+                shm.close()
+                shm.unlink()
         else:
             for chunk in misses:
                 per_chunk[chunk.index] = _evaluate_chunk(graph, chunk)

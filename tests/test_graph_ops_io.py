@@ -195,3 +195,71 @@ class TestIO:
 
         with pytest.raises(GraphError):
             from_json_document({"edges": []})
+
+    def test_negative_id_raises_with_location(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text("# header\n0\t1\n2\t-3\n", encoding="utf-8")
+        with pytest.raises(GraphError, match=r"g\.tsv:3: negative node id"):
+            read_edge_list(target)
+
+    def test_negative_first_column_raises(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text("-1\t4\n", encoding="utf-8")
+        with pytest.raises(GraphError, match="node ids must be >= 0"):
+            read_edge_list(target)
+
+    def test_mixed_column_counts(self, tmp_path):
+        # 2- and 3-column lines in one file exercise the slow-path parse.
+        target = tmp_path / "g.tsv"
+        target.write_text("0 1\n1 2 2.5\n", encoding="utf-8")
+        g = read_edge_list(target)
+        assert g.num_edges == 2
+        assert g.edge_weight(1, 2) == 2.5
+
+    def test_comments_and_blanks_between_chunks(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text(
+            "# a\n\n0\t1\n# b\n\n1\t2\n# trailing\n", encoding="utf-8"
+        )
+        g = read_edge_list(target)
+        assert g.num_edges == 2
+
+    def test_integral_float_ids_accepted(self, tmp_path):
+        target = tmp_path / "g.tsv"
+        target.write_text("0.0\t1.0\t2.0\n", encoding="utf-8")
+        g = read_edge_list(target)
+        assert g.num_edges == 1 and g.edge_weight(0, 1) == 2.0
+
+    def test_chunked_read_matches_small_blocks(self, planted, tmp_path,
+                                               monkeypatch):
+        # Force many tiny chunks through the streaming parser and check
+        # the result is identical to a one-chunk parse.
+        from repro.graph import io as io_mod
+
+        target = tmp_path / "g.tsv"
+        write_edge_list(planted, target)
+        one_chunk = read_edge_list(target)
+        monkeypatch.setattr(io_mod, "_READ_BLOCK_BYTES", 64)
+        many_chunks = read_edge_list(target)
+        assert one_chunk == many_chunks == planted
+
+    def test_streamed_write_matches_small_blocks(self, planted, tmp_path,
+                                                 monkeypatch):
+        from repro.graph import io as io_mod
+
+        big = tmp_path / "big.tsv"
+        write_edge_list(planted, big)
+        monkeypatch.setattr(io_mod, "_WRITE_BLOCK_EDGES", 7)
+        small = tmp_path / "small.tsv"
+        write_edge_list(planted, small)
+        assert big.read_bytes() == small.read_bytes()
+
+    def test_error_line_number_in_later_chunk(self, tmp_path, monkeypatch):
+        from repro.graph import io as io_mod
+
+        monkeypatch.setattr(io_mod, "_READ_BLOCK_BYTES", 8)
+        target = tmp_path / "g.tsv"
+        target.write_text("0\t1\n1\t2\n2\t3\nbad line x y\n",
+                          encoding="utf-8")
+        with pytest.raises(GraphError, match=r"g\.tsv:4"):
+            read_edge_list(target)

@@ -1,0 +1,228 @@
+"""Tests for the binary ``.reprograph`` on-disk graph format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.build import from_edges, union_disjoint
+from repro.graph.generators import star_graph
+from repro.graph.storage import (
+    BINARY_SUFFIX,
+    HEADER_SIZE,
+    peek_binary_header,
+    read_binary,
+    write_binary,
+)
+from repro.ncp.runner import graph_fingerprint
+
+
+def roundtrip(graph, tmp_path, **kwargs):
+    path = tmp_path / f"g{BINARY_SUFFIX}"
+    write_binary(graph, path, **kwargs)
+    return read_binary(path)
+
+
+class TestRoundTrip:
+    def test_weighted_roundtrip(self, weighted_triangle, tmp_path):
+        rebuilt = roundtrip(weighted_triangle, tmp_path)
+        assert rebuilt == weighted_triangle
+
+    def test_suite_graph_roundtrip(self, whiskered, tmp_path):
+        rebuilt = roundtrip(whiskered, tmp_path)
+        assert np.array_equal(rebuilt.indptr, whiskered.indptr)
+        assert np.array_equal(rebuilt.indices, whiskered.indices)
+        assert np.array_equal(rebuilt.weights, whiskered.weights)
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = from_edges(6, [(0, 1)])  # nodes 2..5 isolated
+        rebuilt = roundtrip(g, tmp_path)
+        assert rebuilt.num_nodes == 6
+        assert rebuilt.num_edges == 1
+        assert rebuilt.degrees[2:].sum() == 0
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        g = from_edges(0, [])
+        rebuilt = roundtrip(g, tmp_path)
+        assert rebuilt.num_nodes == 0 and rebuilt.num_edges == 0
+
+    def test_edgeless_nodes_roundtrip(self, tmp_path):
+        g = from_edges(4, [])
+        rebuilt = roundtrip(g, tmp_path)
+        assert rebuilt.num_nodes == 4 and rebuilt.num_edges == 0
+
+    def test_no_mmap_matches_mmap(self, planted, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(planted, path)
+        mapped = read_binary(path, mmap=True)
+        loaded = read_binary(path, mmap=False)
+        assert mapped == loaded == planted
+
+    def test_int64_indices_forced(self, ring, tmp_path):
+        rebuilt = roundtrip(ring, tmp_path, indices_dtype=np.int64)
+        assert rebuilt.indices.dtype == np.int64
+        assert rebuilt == ring
+
+    def test_default_indices_are_int32(self, ring, tmp_path):
+        rebuilt = roundtrip(ring, tmp_path)
+        assert rebuilt.indices.dtype == np.int32
+        assert rebuilt == ring
+
+    def test_float_weights_exact(self, tmp_path):
+        weights = [0.1, 1 / 3, 7.25e-9]
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)], weights)
+        rebuilt = roundtrip(g, tmp_path)
+        assert np.array_equal(rebuilt.weights, g.weights)
+
+
+class TestHeader:
+    def test_peek_reports_sizes(self, planted, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(planted, path)
+        header = peek_binary_header(path)
+        assert header["num_nodes"] == planted.num_nodes
+        assert header["num_edges"] == planted.num_edges
+        assert header["num_arcs"] == 2 * planted.num_edges
+        assert header["indices_dtype"] == "int32"
+        assert path.stat().st_size == header["file_size"]
+
+    def test_truncated_header_raises(self, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        path.write_bytes(b"REPROGRF\x01")
+        with pytest.raises(GraphError, match="truncated header"):
+            peek_binary_header(path)
+
+    def test_truncated_payload_raises(self, ring, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(ring, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])
+        with pytest.raises(GraphError, match="truncated payload"):
+            read_binary(path)
+
+    def test_bad_magic_raises(self, ring, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(ring, path)
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTAGRAF"
+        path.write_bytes(bytes(data))
+        with pytest.raises(GraphError, match="bad magic"):
+            read_binary(path)
+
+    def test_unsupported_version_raises(self, ring, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(ring, path)
+        data = bytearray(path.read_bytes())
+        data[8] = 99
+        path.write_bytes(bytes(data))
+        with pytest.raises(GraphError, match="unsupported format version"):
+            read_binary(path)
+
+    def test_unknown_dtype_code_raises(self, ring, tmp_path):
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(ring, path)
+        data = bytearray(path.read_bytes())
+        data[32] = 42  # indptr dtype code
+        path.write_bytes(bytes(data))
+        with pytest.raises(GraphError, match="unknown dtype code"):
+            read_binary(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError, match="unreadable"):
+            peek_binary_header(tmp_path / f"missing{BINARY_SUFFIX}")
+
+    def test_corrupt_indptr_raises(self, tmp_path):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        path = tmp_path / f"g{BINARY_SUFFIX}"
+        write_binary(g, path)
+        data = bytearray(path.read_bytes())
+        # indptr[0] lives right after the header; make it nonzero.
+        data[HEADER_SIZE] = 1
+        path.write_bytes(bytes(data))
+        with pytest.raises(GraphError, match="indptr must start at 0"):
+            read_binary(path)
+
+    def test_bad_dtype_request_raises(self, ring, tmp_path):
+        with pytest.raises(GraphError, match="int32 or int64"):
+            write_binary(ring, tmp_path / "g", indices_dtype=np.float64)
+
+
+class TestMemmapSemantics:
+    def test_loaded_arrays_read_only(self, ring, tmp_path):
+        rebuilt = roundtrip(ring, tmp_path)
+        with pytest.raises(ValueError):
+            rebuilt.weights[0] = 5.0
+
+    def test_kernels_run_on_memmap(self, whiskered, tmp_path):
+        from repro.diffusion import batch_ppr_push
+        from repro.diffusion.seeds import degree_weighted_indicator_seed
+
+        rebuilt = roundtrip(whiskered, tmp_path)
+        seed = degree_weighted_indicator_seed(rebuilt, [0])
+        native = batch_ppr_push(
+            whiskered,
+            [degree_weighted_indicator_seed(whiskered, [0])],
+            alphas=(0.1,), epsilons=(1e-3,),
+        )
+        mapped = batch_ppr_push(
+            rebuilt, [seed], alphas=(0.1,), epsilons=(1e-3,)
+        )
+        np.testing.assert_array_equal(
+            native.approximation, mapped.approximation
+        )
+
+
+class TestFingerprintFraming:
+    def test_dtype_invariant(self, whiskered, tmp_path):
+        rebuilt = roundtrip(whiskered, tmp_path)
+        assert rebuilt.indices.dtype == np.int32
+        assert whiskered.indices.dtype == np.int64
+        assert graph_fingerprint(rebuilt) == graph_fingerprint(whiskered)
+
+    def test_structure_sensitive(self):
+        a = from_edges(3, [(0, 1), (1, 2)])
+        b = from_edges(3, [(0, 1), (0, 2)])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_weight_sensitive(self):
+        a = from_edges(2, [(0, 1)], [1.0])
+        b = from_edges(2, [(0, 1)], [2.0])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_isolated_tail_nodes_change_fingerprint(self):
+        # Same edges, different num_nodes: only indptr's length differs.
+        a = from_edges(2, [(0, 1)])
+        b = from_edges(3, [(0, 1)])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_framing_blocks_cross_array_aliasing(self):
+        # A star's indices all point at the hub; without per-array
+        # framing a shifted boundary between indices and weights could
+        # produce colliding byte streams for different graphs.
+        a = star_graph(4)
+        b = star_graph(5)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+class TestLoadAnyGraphBinary:
+    def test_suite_bridge_reads_binary(self, whiskered, tmp_path):
+        from repro.datasets import load_any_graph
+
+        path = tmp_path / f"w{BINARY_SUFFIX}"
+        write_binary(whiskered, path)
+        loaded = load_any_graph(str(path))
+        assert loaded == whiskered
+
+    def test_disconnected_binary_warns_and_compacts(self, tmp_path):
+        from repro.datasets import load_any_graph
+
+        two = union_disjoint(
+            from_edges(3, [(0, 1), (1, 2), (0, 2)]),
+            from_edges(2, [(0, 1)]),
+        )
+        path = tmp_path / f"two{BINARY_SUFFIX}"
+        write_binary(two, path)
+        with pytest.warns(UserWarning, match="disconnected"):
+            loaded = load_any_graph(str(path))
+        assert loaded.num_nodes == 3

@@ -75,6 +75,58 @@ class TestRunnerDeterminism:
             candidate_signature(serial.candidates)
         )
 
+    def test_worker_counts_byte_identical(self, whiskered):
+        # The shared-memory transport must not perturb results: any
+        # worker count produces the same bytes, candidate for candidate.
+        grid = ppr_grid()
+        signatures = [
+            candidate_signature(
+                run_ncp_ensemble(
+                    whiskered, grid, seeds_per_chunk=2,
+                    num_workers=workers,
+                ).candidates
+            )
+            for workers in (0, 1, 2)
+        ]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_shared_graph_roundtrip(self, whiskered):
+        from repro.ncp.runner import _attach_shared_graph, _share_graph
+
+        shm, layout = _share_graph(whiskered)
+        try:
+            attached_shm, attached = _attach_shared_graph(shm.name, layout)
+            try:
+                assert np.array_equal(attached.indptr, whiskered.indptr)
+                assert np.array_equal(attached.indices, whiskered.indices)
+                assert np.array_equal(attached.weights, whiskered.weights)
+                assert not attached.weights.flags.writeable
+            finally:
+                del attached
+                attached_shm.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_workers_on_memmapped_binary_graph(self, whiskered, tmp_path):
+        # Workers share whatever storage the parent loaded — including
+        # int32-index memmaps from a .reprograph file — and the ensemble
+        # (and its fingerprint scope) is identical to the in-memory run.
+        from repro.graph.storage import write_binary, read_binary
+
+        path = tmp_path / "w.reprograph"
+        write_binary(whiskered, path)
+        mapped = read_binary(path)
+        assert graph_fingerprint(mapped) == graph_fingerprint(whiskered)
+        grid = ppr_grid()
+        native = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=3)
+        pooled = run_ncp_ensemble(
+            mapped, grid, seeds_per_chunk=3, num_workers=2
+        )
+        assert candidate_signature(pooled.candidates) == (
+            candidate_signature(native.candidates)
+        )
+
     def test_chunk_width_does_not_change_ensemble(self, whiskered):
         grid = ppr_grid()
         wide = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=8)

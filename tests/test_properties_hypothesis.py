@@ -172,6 +172,95 @@ class TestConductanceInvariants:
         assert result.conductance <= np.sqrt(2 * lam2) + 1e-9
 
 
+@st.composite
+def arbitrary_graphs(draw, max_nodes=14):
+    """Graphs that need not be connected — may have isolated nodes."""
+    n = draw(st.integers(1, max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(st.lists(
+        st.sampled_from(possible), max_size=min(20, len(possible)),
+        unique=True,
+    )) if possible else []
+    weights = [
+        draw(st.floats(0.25, 8.0, allow_nan=False, allow_infinity=False))
+        for _ in chosen
+    ]
+    # Extra tail nodes beyond every edge endpoint: isolated by design.
+    extra = draw(st.integers(0, 3))
+    return from_edges(n + extra, sorted(chosen),
+                      [w for _, w in sorted(zip(chosen, weights))])
+
+
+class TestSerializationRoundTrips:
+    """Every storage format is a faithful bijection on graphs."""
+
+    @given(arbitrary_graphs())
+    def test_edge_list_roundtrip(self, tmp_path_factory, graph):
+        from repro.graph.io import read_edge_list, write_edge_list
+
+        path = tmp_path_factory.mktemp("rt") / "g.tsv"
+        write_edge_list(graph, path)
+        rebuilt = read_edge_list(path, num_nodes=graph.num_nodes)
+        assert rebuilt == graph
+
+    @given(arbitrary_graphs())
+    def test_edge_list_unweighted_structure_roundtrip(
+        self, tmp_path_factory, graph
+    ):
+        from repro.graph.build import from_edges as rebuild
+        from repro.graph.io import read_edge_list, write_edge_list
+
+        path = tmp_path_factory.mktemp("rt") / "g.tsv"
+        write_edge_list(graph, path, write_weights=False)
+        rebuilt = read_edge_list(path, num_nodes=graph.num_nodes)
+        us, vs, _ = graph.edge_array()
+        expected = rebuild(
+            graph.num_nodes, np.stack([us, vs], axis=1)
+        )
+        assert rebuilt == expected
+
+    @given(arbitrary_graphs())
+    def test_json_roundtrip(self, graph):
+        from repro.graph.io import from_json_document, to_json_document
+
+        assert from_json_document(to_json_document(graph)) == graph
+
+    @given(arbitrary_graphs())
+    def test_binary_roundtrip(self, tmp_path_factory, graph):
+        from repro.graph.storage import read_binary, write_binary
+
+        path = tmp_path_factory.mktemp("rt") / "g.reprograph"
+        write_binary(graph, path)
+        # mmap=False: hypothesis reuses tmp dirs aggressively; a fully
+        # materialized read keeps no file handle behind.
+        rebuilt = read_binary(path, mmap=False)
+        assert rebuilt == graph
+
+    @given(arbitrary_graphs())
+    def test_binary_preserves_fingerprint(self, tmp_path_factory, graph):
+        from repro.graph.storage import read_binary, write_binary
+        from repro.ncp.runner import graph_fingerprint
+
+        path = tmp_path_factory.mktemp("rt") / "g.reprograph"
+        write_binary(graph, path)
+        assert graph_fingerprint(read_binary(path)) == (
+            graph_fingerprint(graph)
+        )
+
+    @given(arbitrary_graphs(), st.integers(0, 5))
+    def test_num_nodes_override_roundtrip(
+        self, tmp_path_factory, graph, padding
+    ):
+        from repro.graph.io import read_edge_list, write_edge_list
+
+        path = tmp_path_factory.mktemp("rt") / "g.tsv"
+        write_edge_list(graph, path)
+        n = graph.num_nodes + padding
+        rebuilt = read_edge_list(path, num_nodes=n)
+        assert rebuilt.num_nodes == n
+        assert rebuilt.num_edges == graph.num_edges
+
+
 class TestDiffusionInvariants:
     @given(connected_graphs(), st.floats(0.05, 0.95),
            st.integers(0, 10_000))
