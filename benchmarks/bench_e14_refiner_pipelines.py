@@ -100,7 +100,7 @@ def run_dilate_comparison():
         fast = time.perf_counter() - begin
         begin = time.perf_counter()
         slow_sets = [
-            dilate(graph, s, radius, implementation="scalar")
+            dilate(graph, s, radius, backend="scalar")
             for s in starts
         ]
         slow = time.perf_counter() - begin

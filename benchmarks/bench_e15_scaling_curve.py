@@ -38,7 +38,7 @@ DEFAULT_POINTS = "13,15,17"
 NUM_SEEDS = 8
 ALPHA = 0.1
 EPSILON = 1e-3
-ENGINES = ("batched", "scalar")
+BACKENDS = ("numpy", "scalar")
 BENCH_NAME = "BENCH_scale.json"
 
 
@@ -47,14 +47,14 @@ def scale_points():
     return [int(p) for p in raw.split(",") if p.strip()]
 
 
-def ncp_slice_seconds(graph, engine):
-    """Wall time of the fixed strongly-local NCP slice on ``engine``."""
+def ncp_slice_seconds(graph, backend):
+    """Wall time of the fixed strongly-local NCP slice on ``backend``."""
     grid = DiffusionGrid(
         PPR(alpha=(ALPHA,)),
         epsilons=(EPSILON,),
         num_seeds=NUM_SEEDS,
         seed=0,
-        engine=engine,
+        backend=backend,
     )
     start = time.perf_counter()
     result = run_ncp_ensemble(graph, grid)
@@ -79,7 +79,7 @@ def measure_point(scale, tmp_dir):
     assert loaded.num_edges == graph.num_edges
 
     engines = {
-        engine: ncp_slice_seconds(loaded, engine) for engine in ENGINES
+        backend: ncp_slice_seconds(loaded, backend) for backend in BACKENDS
     }
     # Drop the memmap references before the tmp file is cleaned up.
     del loaded
@@ -111,7 +111,7 @@ def test_e15_scaling_curve(tmp_path):
             f"{p['generate_seconds']:.2f}",
             f"{p['write_binary_seconds']:.2f}",
             f"{p['load_binary_seconds']:.4f}",
-            f"{p['ncp_slice']['engine_seconds']['batched']:.2f}",
+            f"{p['ncp_slice']['engine_seconds']['numpy']:.2f}",
             f"{p['ncp_slice']['engine_seconds']['scalar']:.2f}",
         ]
         for p in points
@@ -119,7 +119,7 @@ def test_e15_scaling_curve(tmp_path):
     print()
     print(format_table(
         ["graph", "n", "m", "gen s", "write s", "load s",
-         "ncp batched s", "ncp scalar s"],
+         "ncp numpy s", "ncp scalar s"],
         rows,
         title=(
             f"E15: scale ladder, {NUM_SEEDS}-seed strongly-local NCP "
@@ -132,7 +132,7 @@ def test_e15_scaling_curve(tmp_path):
         "num_seeds": NUM_SEEDS,
         "alpha": ALPHA,
         "epsilon": EPSILON,
-        "engines": list(ENGINES),
+        "backends": list(BACKENDS),
     }
     out = Path(__file__).resolve().parents[1] / BENCH_NAME
     out.write_text(
@@ -155,8 +155,8 @@ def test_e15_scaling_curve(tmp_path):
     small, large = points[0], points[-1]
     edge_ratio = large["num_edges"] / max(1, small["num_edges"])
     time_ratio = (
-        large["ncp_slice"]["engine_seconds"]["batched"]
-        / max(1e-9, small["ncp_slice"]["engine_seconds"]["batched"])
+        large["ncp_slice"]["engine_seconds"]["numpy"]
+        / max(1e-9, small["ncp_slice"]["engine_seconds"]["numpy"])
     )
     assert time_ratio < max(4.0, 0.75 * edge_ratio), (
         f"NCP slice scaled {time_ratio:.1f}x while edges grew only "

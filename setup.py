@@ -21,6 +21,13 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
+    extras_require={
+        # The optional JIT kernel tier: `pip install -e .[jit]` makes the
+        # registered "numba" backend compile the CSR frontier loops; the
+        # package works (and tests pass) without it — the backend then
+        # degrades to the numpy reference with a RuntimeWarning.
+        "jit": ["numba>=0.59"],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",

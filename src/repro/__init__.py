@@ -18,6 +18,9 @@ Subpackages
 ``repro.refine``
     The unified refiner registry: ``MQI`` / ``FlowImprove`` / ``MOV``
     specs, ``Pipeline`` workloads, ``RefinerKind`` entries, alias table.
+``repro.backends``
+    The kernel-backend registry: ``EngineBackend`` entries behind the
+    canonical ``numpy`` / ``scalar`` / ``numba`` names, alias table.
 ``repro.graph``
     CSR graph substrate, matrices, generators, I/O.
 ``repro.linalg``
@@ -48,10 +51,19 @@ Quickstart
 True
 """
 
-from repro import core, datasets, diffusion, dynamics, graph, linalg, ncp
-from repro import partition, refine, regularization
+from repro import backends, core, datasets, diffusion, dynamics, graph
+from repro import linalg, ncp, partition, refine, regularization
 from repro import api
 from repro import cli
+from repro.backends import (
+    EngineBackend,
+    UnknownBackendError,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    unregister_backend,
+)
 from repro.core.framework import canonical_dynamics, verify_paper_theorem
 from repro.datasets.suite import UnknownGraphError, load_any_graph
 from repro.diffusion.engine import (
@@ -93,7 +105,7 @@ from repro.refine import (
     get_refiner,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchPushResult",
@@ -102,6 +114,7 @@ __all__ = [
     "DisconnectedGraphError",
     "DynamicsKind",
     "EmptyGraphError",
+    "EngineBackend",
     "ExperimentError",
     "FlowError",
     "FlowImprove",
@@ -116,11 +129,13 @@ __all__ = [
     "PartitionError",
     "Pipeline",
     "ReproError",
+    "UnknownBackendError",
     "UnknownDynamicsError",
     "UnknownGraphError",
     "UnknownRefinerError",
     "__version__",
     "api",
+    "backends",
     "batch_ppr_push",
     "canonical_dynamics",
     "cli",
@@ -130,6 +145,7 @@ __all__ = [
     "diffusion",
     "dynamics",
     "from_edges",
+    "get_backend",
     "get_dynamics",
     "get_refiner",
     "graph",
@@ -140,7 +156,11 @@ __all__ = [
     "partition",
     "ppr_push_frontier",
     "refine",
+    "register_backend",
+    "registered_backends",
     "regularization",
+    "resolve_backend_name",
     "run_ncp_ensemble",
+    "unregister_backend",
     "verify_paper_theorem",
 ]

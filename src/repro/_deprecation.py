@@ -1,0 +1,35 @@
+"""Shared deprecation machinery for the whole package.
+
+Lives in a leaf module (no repro imports) so that low-level modules —
+``repro.backends``, ``repro.diffusion.truncated_walk``,
+``repro.partition.sweep`` — can emit the shared shim warning without
+importing :mod:`repro.dynamics` (which sits *above* them in the import
+graph).  ``repro.dynamics`` re-exports both names for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["DEPRECATION_REMOVAL_VERSION", "warn_deprecated"]
+
+# Version in which the deprecated pre-registry entry points are scheduled
+# for removal (announced in every shim warning and in the README).
+DEPRECATION_REMOVAL_VERSION = "2.0"
+
+
+def warn_deprecated(old, replacement):
+    """Emit the shared shim warning (``repro API deprecation: ...``).
+
+    The message prefix is load-bearing: the test suite promotes exactly
+    these warnings to errors (see ``pytest.ini``), so no internal code can
+    silently depend on a deprecated entry point.
+    """
+    warnings.warn(
+        f"repro API deprecation: {old} is deprecated and scheduled for "
+        f"removal in repro {DEPRECATION_REMOVAL_VERSION}; use "
+        f"{replacement} instead.",
+        DeprecationWarning,
+        stacklevel=3,
+    )

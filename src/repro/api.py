@@ -12,6 +12,10 @@ vocabulary:
   (:func:`get_refiner`, :func:`register_refiner`,
   :func:`apply_refiners`): composable cluster improvement for any NCP
   or local-clustering entry point.
+* **Kernel backends** — :class:`EngineBackend` and its registry
+  (:func:`get_backend`, :func:`register_backend`,
+  :func:`registered_backends`): the ``numpy`` / ``scalar`` / ``numba``
+  inner-loop families behind every ``backend=`` keyword.
 * **NCP ensembles** — :func:`cluster_ensemble_ncp` (any grid, in-process),
   :func:`run_ncp_ensemble` (sharded / pooled / memoized),
   :func:`flow_cluster_ensemble_ncp`, :func:`best_per_size_bucket`,
@@ -42,6 +46,15 @@ Quickstart::
 
 from __future__ import annotations
 
+from repro.backends import (
+    EngineBackend,
+    UnknownBackendError,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    unregister_backend,
+)
 from repro.core.experiments import run_multidynamics_ncp
 from repro.core.framework import verify_paper_theorem
 from repro.datasets.suite import (
@@ -100,6 +113,7 @@ __all__ = [
     "ClusterCandidate",
     "DiffusionGrid",
     "DynamicsKind",
+    "EngineBackend",
     "Figure1Result",
     "FlowImprove",
     "HeatKernel",
@@ -114,6 +128,7 @@ __all__ = [
     "RefinementStep",
     "RefinementTrace",
     "RefinerKind",
+    "UnknownBackendError",
     "UnknownDynamicsError",
     "UnknownGraphError",
     "UnknownRefinerError",
@@ -127,19 +142,24 @@ __all__ = [
     "cluster_ensemble_ncp",
     "figure1_comparison",
     "flow_cluster_ensemble_ncp",
+    "get_backend",
     "get_dynamics",
     "get_refiner",
     "load_any_graph",
     "load_graph",
     "local_cluster",
     "refine_candidates",
+    "register_backend",
     "register_dynamics",
     "register_refiner",
+    "registered_backends",
     "registered_dynamics",
     "registered_refiners",
+    "resolve_backend_name",
     "run_multidynamics_ncp",
     "run_ncp_ensemble",
     "suite_names",
+    "unregister_backend",
     "unregister_dynamics",
     "unregister_refiner",
     "verify_paper_theorem",

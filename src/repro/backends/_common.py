@@ -1,0 +1,27 @@
+"""Helpers shared by the backend implementations.
+
+Seed-vector construction and grid batching are backend-independent
+plumbing: every backend walks the same (seed, axis, epsilon) grid in the
+same column order, so the order lives here, once.
+"""
+
+from __future__ import annotations
+
+from repro.diffusion.seeds import degree_weighted_indicator_seed
+
+# Cap on the number of dense (node, column) entries per engine batch; seed
+# chunks are sized so the batched residual/approximation matrices stay
+# within a few dozen megabytes regardless of the seed count.
+BATCH_ENTRY_BUDGET = 2_000_000
+
+
+def seed_chunks(seed_nodes, n, grid_size):
+    """Chunk seed nodes so each dense engine batch stays within budget."""
+    chunk = max(1, BATCH_ENTRY_BUDGET // max(n * max(grid_size, 1), 1))
+    for start in range(0, len(seed_nodes), chunk):
+        yield seed_nodes[start:start + chunk]
+
+
+def seed_vector(graph, seed_node):
+    """Degree-weighted indicator distribution for one seed node."""
+    return degree_weighted_indicator_seed(graph, [int(seed_node)])

@@ -1,0 +1,405 @@
+"""The ``numba`` backend: JIT-compiled frontier loops (optional tier).
+
+Ports of the ``scalar`` backend's kernels to ``@njit`` nopython functions
+over the raw CSR arrays, with cached compilation (``cache=True``) so the
+compile cost is paid once per machine.  The arithmetic mirrors the scalar
+loops operation-for-operation, so the JIT tier inherits the scalar
+backend's parity with the numpy reference.
+
+numba is an *optional* dependency (``pip install repro[jit]``).  When it
+is absent — or fails to compile — every entry point degrades gracefully
+to the ``numpy`` reference backend and emits a single ``RuntimeWarning``
+per process.  ``_import_numba`` is the monkeypatchable seam the fallback
+tests use to force the absent path even when numba is installed.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro._validation import (
+    check_int,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+from repro.backends._common import seed_vector
+from repro.diffusion.hk_push import (
+    HeatKernelPushResult,
+    _check_series_time,
+    poisson_tail,
+    terms_for_tail,
+)
+from repro.diffusion.push import PushResult
+from repro.exceptions import InvalidParameterError
+
+# Lazy import + compile state: "module" is the numba module (or None when
+# unimportable), "kernels" the compiled dispatcher table, "warned" whether
+# the one-per-process fallback RuntimeWarning has fired.
+_STATE = {"checked": False, "module": None, "kernels": None, "warned": False}
+
+
+def _import_numba():
+    """Import and return numba (separate function so tests can fail it)."""
+    import numba
+
+    return numba
+
+
+def _load_numba():
+    if not _STATE["checked"]:
+        _STATE["checked"] = True
+        try:
+            _STATE["module"] = _import_numba()
+        except ImportError:
+            _STATE["module"] = None
+    return _STATE["module"]
+
+
+def numba_available():
+    """True when the numba JIT compiler is importable in this process."""
+    return _load_numba() is not None
+
+
+def _kernels():
+    """The compiled kernel table, or None when the JIT tier is unusable."""
+    numba = _load_numba()
+    if numba is None:
+        return None
+    if _STATE["kernels"] is None:
+        try:
+            _STATE["kernels"] = _build_kernels(numba)
+        except Exception:
+            _STATE["module"] = None
+            return None
+    return _STATE["kernels"]
+
+
+def _fallback_ops():
+    """The numpy reference backend, with the one-per-process warning."""
+    if not _STATE["warned"]:
+        _STATE["warned"] = True
+        warnings.warn(
+            "repro: the 'numba' backend needs the optional numba compiler, "
+            "which is not usable in this environment; falling back to the "
+            "'numpy' reference backend (install the JIT tier with: "
+            "pip install repro[jit])",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    from repro.backends import _numpy
+
+    return _numpy
+
+
+def _build_kernels(numba):
+    """Compile the nopython kernel table (called at most once)."""
+    import math
+
+    njit = numba.njit
+
+    @njit(cache=True)
+    def ppr_push_kernel(indptr, indices, weights, degrees, seed, alpha,
+                        epsilon, max_pushes):
+        n = degrees.shape[0]
+        p = np.zeros(n)
+        r = seed.copy()
+        # FIFO ring buffer; in_queue dedup bounds the occupancy by n.
+        queue = np.empty(n, dtype=np.int64)
+        in_queue = np.zeros(n, dtype=np.bool_)
+        head = 0
+        count = 0
+        for u in range(n):
+            if r[u] >= epsilon * degrees[u]:
+                queue[count] = u
+                count += 1
+                in_queue[u] = True
+        num_pushes = 0
+        work = 0
+        while count > 0:
+            u = queue[head]
+            head += 1
+            if head == n:
+                head = 0
+            count -= 1
+            in_queue[u] = False
+            ru = r[u]
+            du = degrees[u]
+            if ru < epsilon * du:
+                continue
+            if num_pushes >= max_pushes:
+                return p, r, num_pushes, work, True
+            num_pushes += 1
+            p[u] += alpha * ru
+            share = (1.0 - alpha) * ru / (2.0 * du)
+            start = indptr[u]
+            stop = indptr[u + 1]
+            work += 1 + (stop - start)
+            for k in range(start, stop):
+                v = indices[k]
+                r[v] += share * weights[k]
+                if (not in_queue[v]) and r[v] >= epsilon * degrees[v]:
+                    tail = head + count
+                    if tail >= n:
+                        tail -= n
+                    queue[tail] = v
+                    count += 1
+                    in_queue[v] = True
+            r[u] = (1.0 - alpha) * ru / 2.0
+            if r[u] >= epsilon * du:
+                tail = head + count
+                if tail >= n:
+                    tail -= n
+                queue[tail] = u
+                count += 1
+                in_queue[u] = True
+        return p, r, num_pushes, work, False
+
+    @njit(cache=True)
+    def hk_push_kernel(indptr, indices, weights, degrees, seed, t,
+                       num_terms, epsilon):
+        n = degrees.shape[0]
+        dropped = 0.0
+        work = 0
+        touched = np.zeros(n, dtype=np.bool_)
+        stage = np.zeros(n)
+        for u in range(n):
+            value = seed[u]
+            if value >= epsilon * degrees[u]:
+                stage[u] = value
+                touched[u] = True
+            elif value > 0.0:
+                dropped += value
+        weight = math.exp(-t)
+        accumulated = weight * stage
+        new_stage = np.zeros(n)
+        for k_term in range(1, num_terms + 1):
+            for u in range(n):
+                new_stage[u] = 0.0
+            for u in range(n):
+                su = stage[u]
+                if su > 0.0:
+                    start = indptr[u]
+                    stop = indptr[u + 1]
+                    work += 1 + (stop - start)
+                    flow = su / degrees[u]
+                    for k in range(start, stop):
+                        new_stage[indices[k]] += flow * weights[k]
+            for u in range(n):
+                value = new_stage[u]
+                if value >= epsilon * degrees[u]:
+                    stage[u] = value
+                    touched[u] = True
+                elif value > 0.0:
+                    dropped += value
+                    stage[u] = 0.0
+                else:
+                    stage[u] = 0.0
+            weight *= t / k_term
+            for u in range(n):
+                accumulated[u] += weight * stage[u]
+        return accumulated, dropped, work, touched
+
+    @njit(cache=True)
+    def walk_step_kernel(indptr, indices, weights, degrees, charge,
+                         support, alpha):
+        new_charge = alpha * charge
+        for i in range(support.shape[0]):
+            u = support[i]
+            flow = (1.0 - alpha) * charge[u] / degrees[u]
+            for k in range(indptr[u], indptr[u + 1]):
+                new_charge[indices[k]] += flow * weights[k]
+        return new_charge
+
+    @njit(cache=True)
+    def prefix_scan_kernel(indptr, indices, weights, degrees, total_volume,
+                           order, max_size, max_volume, min_size):
+        n = degrees.shape[0]
+        in_prefix = np.zeros(n, dtype=np.bool_)
+        cut = 0.0
+        volume = 0.0
+        best_phi = np.inf
+        best_position = -1
+        best_volume = 0.0
+        profile = np.full(max_size, np.inf)
+        for position in range(max_size):
+            if position + 1 >= n:
+                break  # the full node set is not a valid cut
+            u = order[position]
+            du = degrees[u]
+            internal = 0.0
+            for k in range(indptr[u], indptr[u + 1]):
+                if in_prefix[indices[k]]:
+                    internal += weights[k]
+            cut += du - 2.0 * internal
+            volume += du
+            in_prefix[u] = True
+            if max_volume >= 0.0 and volume > max_volume:
+                break
+            other = total_volume - volume
+            if other <= 0:
+                break
+            denominator = min(volume, other)
+            if denominator > 0:
+                phi = cut / denominator
+                profile[position] = phi
+                if position + 1 >= min_size and phi < best_phi:
+                    best_phi = phi
+                    best_position = position
+                    best_volume = volume
+        return profile, best_phi, best_position, best_volume
+
+    return {
+        "ppr_push": ppr_push_kernel,
+        "hk_push": hk_push_kernel,
+        "walk_step": walk_step_kernel,
+        "prefix_scan": prefix_scan_kernel,
+    }
+
+
+def _csr(graph):
+    return (
+        np.asarray(graph.indptr),
+        np.asarray(graph.indices),
+        np.asarray(graph.weights),
+        np.asarray(graph.degrees, dtype=np.float64),
+    )
+
+
+def ppr_push(graph, seed_vec, *, alpha=0.15, epsilon=1e-4, max_pushes=None):
+    """Single-column ACL push, JIT-compiled (numpy fallback when absent)."""
+    kernels = _kernels()
+    if kernels is None:
+        return _fallback_ops().ppr_push(
+            graph, seed_vec, alpha=alpha, epsilon=epsilon,
+            max_pushes=max_pushes,
+        )
+    alpha = check_probability(alpha, "alpha")
+    epsilon = check_probability(epsilon, "epsilon")
+    seed = check_vector(seed_vec, graph.num_nodes, "seed_vector")
+    if np.any(seed < 0):
+        raise InvalidParameterError("push requires a nonnegative seed vector")
+    indptr, indices, weights, degrees = _csr(graph)
+    if np.any(degrees <= 0):
+        raise InvalidParameterError("push requires positive degrees")
+    if max_pushes is None:
+        degree_floor = min(1.0, float(degrees.min()))
+        max_pushes = int(
+            np.ceil(float(seed.sum()) / (epsilon * alpha * degree_floor))
+        ) + 8
+    p, r, num_pushes, work, overflow = kernels["ppr_push"](
+        indptr, indices, weights, degrees,
+        np.ascontiguousarray(seed, dtype=np.float64),
+        float(alpha), float(epsilon), int(max_pushes),
+    )
+    if overflow:
+        raise InvalidParameterError(
+            f"push exceeded max_pushes={max_pushes}; epsilon too small?"
+        )
+    return PushResult(
+        approximation=p,
+        residual=r,
+        num_pushes=int(num_pushes),
+        work=int(work),
+        touched=np.flatnonzero((p > 0) | (r > 0)),
+        epsilon=epsilon,
+        alpha=alpha,
+    )
+
+
+def hk_push(graph, seed_vec, t, *, epsilon=1e-4, num_terms=None,
+            tail_tol=1e-6):
+    """Single-column heat-kernel push, JIT-compiled (numpy fallback)."""
+    kernels = _kernels()
+    if kernels is None:
+        return _fallback_ops().hk_push(graph, seed_vec, t, epsilon=epsilon)
+    t = check_positive(t, "t", allow_zero=True)
+    _check_series_time(t)
+    epsilon = check_probability(epsilon, "epsilon")
+    seed = check_vector(seed_vec, graph.num_nodes, "seed_vector")
+    if np.any(seed < 0):
+        raise InvalidParameterError("heat-kernel push needs nonnegative seed")
+    indptr, indices, weights, degrees = _csr(graph)
+    if np.any(degrees <= 0):
+        raise InvalidParameterError("heat-kernel push needs positive degrees")
+    if num_terms is None:
+        num_terms = terms_for_tail(t, tail_tol)
+    num_terms = check_int(num_terms, "num_terms", minimum=1)
+    accumulated, dropped, work, touched = kernels["hk_push"](
+        indptr, indices, weights, degrees,
+        np.ascontiguousarray(seed, dtype=np.float64),
+        float(t), int(num_terms), float(epsilon),
+    )
+    return HeatKernelPushResult(
+        approximation=accumulated,
+        t=t,
+        num_terms=num_terms,
+        dropped_mass=float(dropped),
+        tail_bound=poisson_tail(t, num_terms),
+        touched=np.flatnonzero(touched),
+        work=int(work),
+    )
+
+
+def ppr_grid(graph, seed_nodes, *, alphas, epsilons):
+    """Yield one PPR column per (seed, alpha, epsilon), JIT per column."""
+    if _kernels() is None:
+        yield from _fallback_ops().ppr_grid(
+            graph, seed_nodes, alphas=alphas, epsilons=epsilons
+        )
+        return
+    for seed_node in seed_nodes:
+        vector = seed_vector(graph, seed_node)
+        for alpha in alphas:
+            for epsilon in epsilons:
+                push = ppr_push(graph, vector, alpha=alpha, epsilon=epsilon)
+                yield push.approximation
+
+
+def hk_grid(graph, seed_nodes, *, ts, epsilons):
+    """Yield one heat-kernel column per (seed, t, epsilon), JIT per column."""
+    if _kernels() is None:
+        yield from _fallback_ops().hk_grid(
+            graph, seed_nodes, ts=ts, epsilons=epsilons
+        )
+        return
+    for seed_node in seed_nodes:
+        vector = seed_vector(graph, seed_node)
+        for t in ts:
+            for epsilon in epsilons:
+                push = hk_push(graph, vector, t, epsilon=epsilon)
+                yield push.approximation
+
+
+def walk_step(graph, charge, support, *, alpha):
+    """One lazy-walk spread step, JIT-compiled (numpy fallback)."""
+    kernels = _kernels()
+    if kernels is None:
+        return _fallback_ops().walk_step(graph, charge, support, alpha=alpha)
+    indptr, indices, weights, degrees = _csr(graph)
+    return kernels["walk_step"](
+        indptr, indices, weights, degrees,
+        np.ascontiguousarray(charge, dtype=np.float64),
+        np.ascontiguousarray(support, dtype=np.int64),
+        float(alpha),
+    )
+
+
+def prefix_scan(graph, order, max_size, max_volume, min_size):
+    """Incremental prefix-conductance scan, JIT-compiled (numpy fallback)."""
+    kernels = _kernels()
+    if kernels is None:
+        return _fallback_ops().prefix_scan(
+            graph, order, max_size, max_volume, min_size
+        )
+    indptr, indices, weights, degrees = _csr(graph)
+    # The kernel encodes "no volume cap" as a negative sentinel.
+    cap = -1.0 if max_volume is None else float(max_volume)
+    profile, phi, position, volume = kernels["prefix_scan"](
+        indptr, indices, weights, degrees, float(graph.total_volume),
+        np.ascontiguousarray(order, dtype=np.int64),
+        int(max_size), cap, int(min_size),
+    )
+    return profile, (float(phi), int(position), float(volume))

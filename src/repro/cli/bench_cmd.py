@@ -1,11 +1,17 @@
-"""``repro bench`` — the registry-driven engine benchmark (E12b).
+"""``repro bench`` — the registry-driven backend benchmark (E12b).
 
-Times every registered dynamics' full diffusion grid twice through the
-same ``spec.iter_columns`` entry point the NCP pipeline uses — once on
-the batched/vectorized engine, once on the scalar parity oracle — and
-writes ``BENCH_engine.json`` (one section per dynamics) plus a run
-manifest into ``--out``.  Because dispatch goes through the registry, a
-newly registered dynamics benchmarks itself with no changes here.
+Times every registered dynamics' full diffusion grid through the same
+``spec.iter_columns`` entry point the NCP pipeline uses, once per
+registered :mod:`repro.backends` backend (numpy / scalar / numba / any
+third-party registration), and writes ``BENCH_engine.json`` (one
+section per dynamics, one timing entry per backend) plus a run manifest
+into ``--out``.  Each (dynamics, backend) pair gets one untimed warm-up
+drain first, so numba JIT compilation never pollutes the timings.
+Because dispatch goes through both registries, a newly registered
+dynamics or backend benchmarks itself with no changes here.  The
+pre-backend ``scalar_seconds`` / ``batched_seconds`` / ``speedup`` keys
+are kept per section whenever both the ``scalar`` and ``numpy``
+backends were timed.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.cli._common import (
     parse_float_list,
     resolve_graph,
 )
+from repro.backends import registered_backends, resolve_backend_name
 from repro.core.reporting import format_table
 from repro.dynamics import registered_dynamics
 from repro.ncp.profile import _sample_seed_nodes
@@ -34,12 +41,13 @@ def configure_parser(subparsers):
     """Register the ``bench`` subcommand on the CLI parser."""
     parser = subparsers.add_parser(
         "bench",
-        help="benchmark every registered dynamics' batched engine",
+        help="benchmark every registered dynamics on every backend",
         description=(
-            "Benchmark the batched diffusion engines against their "
-            "scalar parity oracles: every registered dynamics' default "
-            "grid is drained through spec.iter_columns on both engines "
-            "and the speedups are written to BENCH_engine.json "
+            "Benchmark the registered kernel backends against each "
+            "other: every registered dynamics' default grid is drained "
+            "through spec.iter_columns once per backend (after an "
+            "untimed warm-up, so numba JIT compilation is excluded) and "
+            "the timings are written to BENCH_engine.json "
             "(+ manifest.json) in --out."
         ),
     )
@@ -69,8 +77,15 @@ def configure_parser(subparsers):
         type=int,
         default=1,
         metavar="R",
-        help="timing rounds per engine; the best round is reported "
+        help="timing rounds per backend; the best round is reported "
              "(default: 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated backends to time (names or aliases; "
+             "default: every registered backend)",
     )
     parser.add_argument(
         "--out",
@@ -83,17 +98,38 @@ def configure_parser(subparsers):
     return parser
 
 
-def _time_columns(graph, spec, seed_nodes, epsilons, engine, rounds):
-    """Best-of-``rounds`` wall time to drain one spec's diffusion grid."""
+def _time_columns(graph, spec, seed_nodes, epsilons, backend, rounds):
+    """Best-of-``rounds`` wall time to drain one spec's diffusion grid.
+
+    One untimed warm-up drain (a single seed) runs first so one-time
+    costs — numba JIT compilation above all — never reach the timings.
+    """
+    for _column in spec.iter_columns(
+        graph, seed_nodes[:1], epsilons=epsilons, backend=backend
+    ):
+        pass
     best = float("inf")
     for _ in range(max(1, rounds)):
         start = time.perf_counter()
         for _column in spec.iter_columns(
-            graph, seed_nodes, epsilons=epsilons, engine=engine
+            graph, seed_nodes, epsilons=epsilons, backend=backend
         ):
             pass
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _backend_names(argument):
+    """The canonical backends to time (``--backend`` or the registry)."""
+    if argument is None:
+        return sorted(registered_backends())
+    names = []
+    for part in argument.split(","):
+        if part.strip():
+            key = resolve_backend_name(part.strip())
+            if key not in names:
+                names.append(key)
+    return names
 
 
 def run(args):
@@ -106,45 +142,69 @@ def run(args):
         int(u) for u in _sample_seed_nodes(graph, args.num_seeds, rng)
     ]
 
+    backends = _backend_names(args.backend)
     print(
         f"bench: graph={args.graph} (n={graph.num_nodes}, "
         f"m={graph.num_edges}) seeds={len(seed_nodes)} "
-        f"epsilons={list(epsilons)}"
+        f"epsilons={list(epsilons)} backends={backends}"
     )
     sections = {}
     rows = []
     for key in sorted(registered_dynamics()):
         kind = registered_dynamics()[key]
         spec = kind.default_spec()
-        scalar = _time_columns(
-            graph, spec, seed_nodes, epsilons, "scalar", args.rounds
-        )
-        batched = _time_columns(
-            graph, spec, seed_nodes, epsilons, "batched", args.rounds
-        )
+        timings = {}
+        for name in backends:
+            timings[name] = _time_columns(
+                graph, spec, seed_nodes, epsilons, name, args.rounds
+            )
+        reference = timings.get("numpy")
         columns = spec.grid_size(epsilons) * len(seed_nodes)
-        sections[key] = {
+        section = {
             "spec": repr(spec),
             "num_columns": int(columns),
-            "scalar_seconds": scalar,
-            "batched_seconds": batched,
-            "speedup": scalar / batched if batched > 0 else float("inf"),
+            "backends": {
+                name: {
+                    "backend": name,
+                    "available": registered_backends()[name].available(),
+                    "seconds": seconds,
+                    "speedup_vs_numpy": (
+                        reference / seconds
+                        if reference is not None and seconds > 0
+                        else None
+                    ),
+                }
+                for name, seconds in timings.items()
+            },
         }
+        if "scalar" in timings and "numpy" in timings:
+            # Pre-backend report keys, kept for downstream consumers:
+            # 'batched' was the numpy backend's historical name.
+            section["scalar_seconds"] = timings["scalar"]
+            section["batched_seconds"] = timings["numpy"]
+            section["speedup"] = (
+                timings["scalar"] / timings["numpy"]
+                if timings["numpy"] > 0 else float("inf")
+            )
+        sections[key] = section
         axes = ", ".join(
             f"{len(values)} {axis}"
             for axis, values in spec.grid_axes().items()
         )
-        rows.append([
-            f"{key} ({axes} x {len(epsilons)} eps)",
-            scalar,
-            batched,
-            f"{sections[key]['speedup']:.1f}x",
-        ])
+        for name in backends:
+            entry = section["backends"][name]
+            vs = entry["speedup_vs_numpy"]
+            rows.append([
+                f"{key} ({axes} x {len(epsilons)} eps)",
+                name + ("" if entry["available"] else " (fallback)"),
+                timings[name],
+                f"{vs:.1f}x" if vs is not None else "--",
+            ])
     print()
     print(format_table(
-        ["dynamics", "scalar s", "batched s", "speedup"],
+        ["dynamics", "backend", "seconds", "vs numpy"],
         rows,
-        title="E12b: registry-driven engines, batched vs scalar oracle",
+        title="E12b: registry-driven kernels, one timing per backend",
     ))
 
     out = ensure_out_dir(args.out)
@@ -155,6 +215,7 @@ def run(args):
         "num_seeds": len(seed_nodes),
         "epsilons": list(epsilons),
         "rounds": int(args.rounds),
+        "backends": backends,
         "dynamics": sections,
     }
     bench_path = out / BENCH_NAME
@@ -171,6 +232,7 @@ def run(args):
             "seed": args.seed,
             "epsilons": list(epsilons),
             "rounds": args.rounds,
+            "backends": backends,
         },
         replay_argv=[
             "bench",
@@ -180,6 +242,7 @@ def run(args):
             "--seed", str(args.seed),
             "--epsilons", args.epsilons,
             "--rounds", str(args.rounds),
+            "--backend", ",".join(backends),
         ],
         graph=record,
         outputs=[BENCH_NAME],

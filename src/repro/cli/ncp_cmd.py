@@ -26,9 +26,10 @@ from repro.cli._common import (
     parse_float_list,
     resolve_graph,
 )
+from repro.backends import resolve_backend_name
 from repro.cli.specs import parse_dynamics_list, parse_refiner_chain
 from repro.core.reporting import format_table
-from repro.exceptions import PartitionError
+from repro.exceptions import InvalidParameterError, PartitionError
 from repro.ncp.profile import best_per_size_bucket
 from repro.ncp.runner import run_ncp_ensemble
 from repro.refine import Pipeline
@@ -95,11 +96,19 @@ def configure_parser(subparsers):
         help="sweep-prefix size cap (default: n // 2)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for the diffusion and sweep inner loops: "
+             "any registered repro.backends name or alias (numpy, "
+             "scalar, numba, ...; default: numpy)",
+    )
+    parser.add_argument(
         "--engine",
         choices=("batched", "scalar"),
-        default="batched",
-        help="batched vectorized engines or the scalar parity oracles "
-             "(default: batched)",
+        default=None,
+        help="(deprecated) legacy alias for --backend "
+             "(batched -> numpy)",
     )
     parser.add_argument(
         "--workers",
@@ -180,7 +189,7 @@ def _profile_text(run_result, num_buckets):
     )
 
 
-def _replay_argv(args):
+def _replay_argv(args, backend):
     argv = [
         "ncp",
         "--graph", args.graph,
@@ -188,7 +197,7 @@ def _replay_argv(args):
         "--dynamics", args.dynamics,
         "--num-seeds", str(args.num_seeds),
         "--seed", str(args.seed),
-        "--engine", args.engine,
+        "--backend", backend,
         "--seeds-per-chunk", str(args.seeds_per_chunk),
         "--buckets", str(args.buckets),
     ]
@@ -205,6 +214,16 @@ def run(args):
     """Execute ``repro ncp`` (see :func:`configure_parser`)."""
     watch = Stopwatch()
     graph, record = resolve_graph(args)
+    backend = args.backend
+    if args.engine is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                "pass --backend or the deprecated --engine, not both"
+            )
+        backend = args.engine
+    # resolve_backend_name canonicalizes legacy values without warning:
+    # replaying an old manifest's '--engine batched' argv must stay quiet.
+    backend = resolve_backend_name("numpy" if backend is None else backend)
     requests = parse_dynamics_list(args.dynamics)
     refiners = (
         parse_refiner_chain(args.refine) if args.refine is not None else ()
@@ -232,7 +251,7 @@ def run(args):
             num_seeds=args.num_seeds,
             seed=args.seed,
             max_cluster_size=args.max_cluster_size,
-            engine=args.engine,
+            backend=backend,
         )
         workload = Pipeline(grid, refiners=refiners) if refiners else grid
         runs.append(run_ncp_ensemble(
@@ -266,13 +285,13 @@ def run(args):
             "seed": args.seed,
             "epsilons": shared_epsilons,
             "max_cluster_size": args.max_cluster_size,
-            "engine": args.engine,
+            "backend": backend,
             "workers": args.workers,
             "seeds_per_chunk": args.seeds_per_chunk,
             "cache_dir": args.cache_dir,
             "buckets": args.buckets,
         },
-        replay_argv=_replay_argv(args),
+        replay_argv=_replay_argv(args, backend),
         graph=record,
         outputs=[CANDIDATES_NAME, PROFILE_NAME],
         wall_seconds=watch.elapsed(),

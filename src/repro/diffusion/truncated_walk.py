@@ -12,11 +12,11 @@ The rounding is exactly the implicit regularizer the paper discusses — it
 biases the iterate toward sparse, low-volume support while keeping each step
 O(support volume).
 
-Two step implementations share the same semantics (trajectory recording,
-support accounting, dropped-mass bookkeeping): the default ``"vectorized"``
-step gathers the support's CSR slices and scatters through one bincount,
-and the original ``"scalar"`` per-node Python loop is kept as the parity
-oracle.
+Every registered backend (see :mod:`repro.backends`) provides the spread
+step under the same semantics (trajectory recording, support accounting,
+dropped-mass bookkeeping): the default ``numpy`` step gathers the
+support's CSR slices and scatters through one bincount, ``scalar`` is the
+per-node Python parity oracle, and ``numba`` JIT-compiles the loop.
 """
 
 from __future__ import annotations
@@ -25,15 +25,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro._validation import (
     check_int,
     check_probability,
     check_vector,
 )
-from repro.diffusion._csr import gather_csr_arcs
+from repro.backends import get_backend, resolve_backend_name
 from repro.exceptions import InvalidParameterError
-
-_IMPLEMENTATIONS = ("vectorized", "scalar")
 
 
 @dataclass
@@ -63,8 +62,8 @@ class TruncatedWalkResult:
 
 
 def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
-                        alpha=0.5, keep_trajectory=True,
-                        implementation="vectorized"):
+                        alpha=0.5, keep_trajectory=True, backend=None,
+                        implementation=None):
     """Run ``num_steps`` of the truncated lazy random walk.
 
     Parameters
@@ -81,11 +80,13 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
         Holding probability of the lazy walk.
     keep_trajectory:
         Record every intermediate vector (the sweep-cut driver needs them).
+    backend:
+        Registered backend name or :class:`~repro.backends.EngineBackend`
+        providing the spread step; default ``"numpy"``. Every backend
+        performs the same substochastic update restricted to the current
+        support.
     implementation:
-        ``"vectorized"`` (default) spreads charge with one CSR gather and
-        bincount scatter per step; ``"scalar"`` is the per-node Python
-        loop, kept as the parity oracle. Both perform the same
-        substochastic update restricted to the current support.
+        Deprecated alias for ``backend`` (``"vectorized"`` -> ``"numpy"``).
 
     Returns
     -------
@@ -100,18 +101,23 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
     num_steps = check_int(num_steps, "num_steps", minimum=0)
     epsilon = check_probability(epsilon, "epsilon")
     alpha = check_probability(alpha, "alpha")
-    if implementation not in _IMPLEMENTATIONS:
-        raise InvalidParameterError(
-            f"implementation must be one of {_IMPLEMENTATIONS}; "
-            f"got {implementation!r}"
+    if implementation is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                "pass backend= or the deprecated implementation=, not both"
+            )
+        backend = resolve_backend_name(implementation)
+        warn_deprecated(
+            "truncated_lazy_walk(implementation=...)",
+            "truncated_lazy_walk(backend=...)",
         )
+    ops = get_backend("numpy" if backend is None else backend)
     seed = check_vector(seed_vector, graph.num_nodes, "seed_vector")
     if np.any(seed < 0):
         raise InvalidParameterError("truncated walk needs a nonnegative seed")
     degrees = graph.degrees
     if np.any(degrees <= 0):
         raise InvalidParameterError("truncated walk requires positive degrees")
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
 
     def rounded(vector):
         keep = vector >= epsilon * degrees
@@ -119,28 +125,8 @@ def truncated_lazy_walk(graph, seed_vector, num_steps, *, epsilon,
         out = np.where(keep, vector, 0.0)
         return out, dropped
 
-    def step_scalar(charge, support):
-        new_charge = alpha * charge
-        for u in support:
-            flow = (1.0 - alpha) * charge[u] / degrees[u]
-            start, stop = indptr[u], indptr[u + 1]
-            for k in range(start, stop):
-                new_charge[indices[k]] += flow * weights[k]
-        return new_charge
-
-    def step_vectorized(charge, support):
-        new_charge = alpha * charge
-        if support.size:
-            arc_positions, counts = gather_csr_arcs(indptr, support)
-            flow = (1.0 - alpha) * charge[support] / degrees[support]
-            new_charge += np.bincount(
-                indices[arc_positions],
-                weights=weights[arc_positions] * np.repeat(flow, counts),
-                minlength=graph.num_nodes,
-            )
-        return new_charge
-
-    step = step_vectorized if implementation == "vectorized" else step_scalar
+    def step(charge, support):
+        return ops.walk_step(graph, charge, support, alpha=alpha)
 
     charge, dropped_total = rounded(seed)
     result = TruncatedWalkResult(final=charge)

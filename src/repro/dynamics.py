@@ -37,17 +37,18 @@ worked example).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar
 
 import numpy as np
 
+from repro._deprecation import DEPRECATION_REMOVAL_VERSION, warn_deprecated
 from repro._validation import check_int, check_positive, check_probability
+from repro.backends import get_backend, resolve_backend_name
+from repro.backends._common import seed_vector as _seed_vector
 from repro.diffusion.engine import batch_hk_push, batch_ppr_push
 from repro.diffusion.hk_push import heat_kernel_push
 from repro.diffusion.push import approximate_ppr_push
-from repro.diffusion.seeds import degree_weighted_indicator_seed
 from repro.diffusion.truncated_walk import truncated_lazy_walk
 from repro.exceptions import InvalidParameterError
 from repro.regularization.equivalence import (
@@ -73,18 +74,6 @@ __all__ = [
     "unregister_dynamics",
 ]
 
-_ENGINES = ("batched", "scalar")
-
-# Version in which the deprecated pre-registry entry points are scheduled
-# for removal (announced in every shim warning and in the README).
-DEPRECATION_REMOVAL_VERSION = "2.0"
-
-# Cap on the number of dense (node, column) entries per engine batch; seed
-# chunks are sized so the batched residual/approximation matrices stay
-# within a few dozen megabytes regardless of the seed count.
-_BATCH_ENTRY_BUDGET = 2_000_000
-
-
 class UnknownDynamicsError(InvalidParameterError, KeyError):
     """Raised for a dynamics name or spec that is not in the registry.
 
@@ -97,22 +86,6 @@ class UnknownDynamicsError(InvalidParameterError, KeyError):
     __str__ = Exception.__str__
 
 
-def warn_deprecated(old, replacement):
-    """Emit the shared shim warning (``repro API deprecation: ...``).
-
-    The message prefix is load-bearing: the test suite promotes exactly
-    these warnings to errors (see ``pytest.ini``), so no internal code can
-    silently depend on a deprecated entry point.
-    """
-    warnings.warn(
-        f"repro API deprecation: {old} is deprecated and scheduled for "
-        f"removal in repro {DEPRECATION_REMOVAL_VERSION}; use "
-        f"{replacement} instead.",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 def _axis(value, name, check):
     """Normalize a scalar-or-sequence axis value to a validated tuple."""
     if np.ndim(value) == 0:
@@ -123,23 +96,23 @@ def _axis(value, name, check):
     return values
 
 
-def _check_engine(engine):
-    if engine not in _ENGINES:
-        raise InvalidParameterError(
-            f"engine must be one of {_ENGINES}; got {engine!r}"
-        )
-    return engine
+def _resolve_backend(backend, engine, where):
+    """Map a (backend=, deprecated engine=) pair to one backend value.
 
-
-def _seed_chunks(seed_nodes, n, grid_size):
-    """Chunk seed nodes so each dense engine batch stays within budget."""
-    chunk = max(1, _BATCH_ENTRY_BUDGET // max(n * max(grid_size, 1), 1))
-    for start in range(0, len(seed_nodes), chunk):
-        yield seed_nodes[start:start + chunk]
-
-
-def _seed_vector(graph, seed_node):
-    return degree_weighted_indicator_seed(graph, [int(seed_node)])
+    ``engine`` is the pre-registry stringly flag; its vocabulary
+    (``"batched"``/``"scalar"``) is registered as backend aliases, so the
+    shim is one :func:`~repro.backends.resolve_backend_name` call.
+    Returns ``None`` when neither was given (callers pick their default).
+    """
+    if engine is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                f"pass backend= or the deprecated engine= to {where}, "
+                "not both"
+            )
+        backend = resolve_backend_name(engine)
+        warn_deprecated(f"{where}(engine=...)", f"{where}(backend=...)")
+    return backend
 
 
 class _SpecBase:
@@ -215,37 +188,32 @@ class PPR(_SpecBase):
     def from_grid_params(cls, params):
         return cls(alpha=params["alphas"])
 
-    def iter_columns(self, graph, seed_nodes, *, epsilons, engine="batched"):
-        """Yield one diffusion vector per (seed, alpha, epsilon) grid point.
+    def iter_columns(self, graph, seed_nodes, *, epsilons, backend=None,
+                     engine=None):
+        """Iterate one diffusion vector per (seed, alpha, epsilon) point.
 
         Columns enumerate seed (slowest) x alpha x epsilon (fastest) —
-        the same order for both engines, so candidate ensembles line up
-        column-for-column.
+        the same order for every backend, so candidate ensembles line up
+        column-for-column.  ``backend`` names a registered
+        :class:`~repro.backends.EngineBackend` (default ``"numpy"``);
+        ``engine`` is the deprecated pre-registry alias.
         """
-        _check_engine(engine)
-        epsilons = tuple(epsilons)
-        if engine == "scalar":
-            for seed_node in seed_nodes:
-                vector = _seed_vector(graph, seed_node)
-                for alpha in self.alpha:
-                    for epsilon in epsilons:
-                        push = approximate_ppr_push(
-                            graph, vector, alpha=alpha, epsilon=epsilon
-                        )
-                        yield push.approximation
-            return
-        grid = self.grid_size(epsilons)
-        for block in _seed_chunks(list(seed_nodes), graph.num_nodes, grid):
-            vectors = [_seed_vector(graph, s) for s in block]
-            batch = batch_ppr_push(
-                graph, vectors, alphas=self.alpha, epsilons=epsilons
-            )
-            for b in range(batch.num_columns):
-                yield batch.approximation[:, b]
+        backend = _resolve_backend(backend, engine, "PPR.iter_columns")
+        ops = get_backend("numpy" if backend is None else backend)
+        return ops.ppr_grid(
+            graph, list(seed_nodes), alphas=self.alpha,
+            epsilons=tuple(epsilons),
+        )
 
-    def local_sweep_vectors(self, graph, seed_vector, *, epsilon):
-        """Yield (scores, edge-work) pairs to sweep for a local cluster."""
-        push = approximate_ppr_push(
+    def local_sweep_vectors(self, graph, seed_vector, *, epsilon,
+                            backend=None):
+        """Yield (scores, edge-work) pairs to sweep for a local cluster.
+
+        The default backend is ``"scalar"`` — the single-column FIFO push
+        is the historical ACL local driver and stays the reference.
+        """
+        ops = get_backend("scalar" if backend is None else backend)
+        push = ops.ppr_push(
             graph, seed_vector, alpha=self._point("alpha"), epsilon=epsilon
         )
         yield push.approximation, push.work
@@ -281,31 +249,32 @@ class HeatKernel(_SpecBase):
     def from_grid_params(cls, params):
         return cls(t=params["ts"])
 
-    def iter_columns(self, graph, seed_nodes, *, epsilons, engine="batched"):
-        """Yield one diffusion vector per (seed, t, epsilon) grid point."""
-        _check_engine(engine)
-        epsilons = tuple(epsilons)
-        if engine == "scalar":
-            for seed_node in seed_nodes:
-                vector = _seed_vector(graph, seed_node)
-                for t in self.t:
-                    for epsilon in epsilons:
-                        push = heat_kernel_push(
-                            graph, vector, t, epsilon=epsilon
-                        )
-                        yield push.approximation
-            return
-        grid = self.grid_size(epsilons)
-        for block in _seed_chunks(list(seed_nodes), graph.num_nodes, grid):
-            vectors = [_seed_vector(graph, s) for s in block]
-            batch = batch_hk_push(
-                graph, vectors, ts=self.t, epsilons=epsilons
-            )
-            for b in range(batch.num_columns):
-                yield batch.approximation[:, b]
+    def iter_columns(self, graph, seed_nodes, *, epsilons, backend=None,
+                     engine=None):
+        """Iterate one diffusion vector per (seed, t, epsilon) grid point.
 
-    def local_sweep_vectors(self, graph, seed_vector, *, epsilon):
-        result = heat_kernel_push(
+        ``backend`` names a registered
+        :class:`~repro.backends.EngineBackend` (default ``"numpy"``);
+        ``engine`` is the deprecated pre-registry alias.
+        """
+        backend = _resolve_backend(
+            backend, engine, "HeatKernel.iter_columns"
+        )
+        ops = get_backend("numpy" if backend is None else backend)
+        return ops.hk_grid(
+            graph, list(seed_nodes), ts=self.t, epsilons=tuple(epsilons)
+        )
+
+    def local_sweep_vectors(self, graph, seed_vector, *, epsilon,
+                            backend=None):
+        """Yield the (scores, edge-work) pair for the local hk driver.
+
+        The default backend is ``"scalar"`` — the one-column series
+        recursion is the historical hk local driver and stays the
+        reference.
+        """
+        ops = get_backend("scalar" if backend is None else backend)
+        result = ops.hk_push(
             graph, seed_vector, self._point("t"), epsilon=epsilon
         )
         yield result.approximation, result.work
@@ -364,34 +333,42 @@ class LazyWalk(_SpecBase):
     def grid_size(self, epsilons):
         return len(self.steps) * len(tuple(epsilons))
 
-    def iter_columns(self, graph, seed_nodes, *, epsilons, engine="batched"):
-        """Yield one charge vector per (seed, epsilon, step) grid point.
+    def iter_columns(self, graph, seed_nodes, *, epsilons, backend=None,
+                     engine=None):
+        """Iterate one charge vector per (seed, epsilon, step) grid point.
 
         The walk is run once to the largest requested step count per
         (seed, epsilon); the prefix trajectory supplies every smaller
-        step count for free, in sorted-unique order.
+        step count for free, in sorted-unique order.  ``backend`` names a
+        registered :class:`~repro.backends.EngineBackend` providing the
+        spread step (default ``"numpy"``); ``engine`` is the deprecated
+        pre-registry alias.
         """
-        _check_engine(engine)
-        implementation = "vectorized" if engine == "batched" else "scalar"
+        backend = _resolve_backend(backend, engine, "LazyWalk.iter_columns")
+        ops = get_backend("numpy" if backend is None else backend)
+        return self._walk_columns(graph, seed_nodes, tuple(epsilons), ops)
+
+    def _walk_columns(self, graph, seed_nodes, epsilons, ops):
         wanted = sorted(set(self.steps))
         horizon = wanted[-1]
         for seed_node in seed_nodes:
             vector = _seed_vector(graph, seed_node)
-            for epsilon in tuple(epsilons):
+            for epsilon in epsilons:
                 walk = truncated_lazy_walk(
                     graph, vector, horizon, epsilon=epsilon,
                     alpha=self.walk_alpha, keep_trajectory=True,
-                    implementation=implementation,
+                    backend=ops,
                 )
                 for k in wanted:
                     yield walk.trajectory[k]
 
-    def local_sweep_vectors(self, graph, seed_vector, *, epsilon):
+    def local_sweep_vectors(self, graph, seed_vector, *, epsilon,
+                            backend=None):
         """Sweep the charge after every step, as Nibble does."""
         num_steps = check_int(self._point("steps"), "steps", minimum=1)
         walk = truncated_lazy_walk(
             graph, seed_vector, num_steps, epsilon=epsilon,
-            alpha=self.walk_alpha, keep_trajectory=True,
+            alpha=self.walk_alpha, keep_trajectory=True, backend=backend,
         )
         work = int(sum(walk.support_volumes))
         for charge in walk.trajectory[1:]:
@@ -510,9 +487,12 @@ class DiffusionGrid:
         RNG seed (or generator) for seed-node sampling.
     max_cluster_size:
         Sweep-prefix size cap; ``None`` resolves to ``n // 2`` at run time.
+    backend:
+        Registered backend name or alias (see :mod:`repro.backends`);
+        normalized to the canonical key, default ``"numpy"``.
     engine:
-        ``"batched"`` (vectorized engines) or ``"scalar"`` (the parity
-        oracles).
+        Deprecated alias for ``backend`` (``"batched"`` -> ``"numpy"``);
+        always ``None`` after construction.
     """
 
     dynamics: object
@@ -520,7 +500,8 @@ class DiffusionGrid:
     num_seeds: int = 40
     seed: object = None
     max_cluster_size: int = None
-    engine: str = "batched"
+    backend: str = None
+    engine: object = field(default=None, repr=False)
 
     def __post_init__(self):
         spec = self.dynamics
@@ -538,7 +519,15 @@ class DiffusionGrid:
         check_int(self.num_seeds, "num_seeds", minimum=1)
         if self.max_cluster_size is not None:
             check_int(self.max_cluster_size, "max_cluster_size", minimum=1)
-        _check_engine(self.engine)
+        backend = _resolve_backend(self.backend, self.engine, "DiffusionGrid")
+        # Normalize so grids built via the shim compare (and hash) equal
+        # to grids built with the canonical name.
+        object.__setattr__(self, "engine", None)
+        object.__setattr__(
+            self,
+            "backend",
+            resolve_backend_name("numpy" if backend is None else backend),
+        )
 
     @property
     def key(self):

@@ -11,9 +11,10 @@ Two ensemble generators:
 
 * :func:`cluster_ensemble_ncp` — the diffusion side, for *any* registered
   dynamics: a :class:`~repro.dynamics.DiffusionGrid` (spec × epsilons ×
-  seed sampling) is swept column by column through the spec's batched
-  engine (or its scalar parity oracle), and every best-per-octave sweep
-  prefix of every column is a candidate cluster.  PPR reproduces the
+  seed sampling) is swept column by column through the grid's registered
+  backend (:mod:`repro.backends`: the vectorized ``numpy`` reference, the
+  ``scalar`` parity oracle, or the JIT ``numba`` tier), and every
+  best-per-octave sweep prefix of every column is a candidate cluster.  PPR reproduces the
   paper's "LocalSpectral (blue)" curve; the heat kernel and the truncated
   lazy walk are the other two canonical dynamics of Section 3.1.
 * :func:`flow_cluster_ensemble_ncp` — the "Metis+MQI (red)" side: recursive
@@ -44,11 +45,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._validation import as_rng, check_int
+from repro.backends import resolve_backend_name
 from repro.dynamics import (
     DiffusionGrid,
     HeatKernel,
     LazyWalk,
     PPR,
+    _resolve_backend,
     as_diffusion_grid,
     get_dynamics,
     warn_deprecated,
@@ -138,7 +141,7 @@ def _sample_seed_nodes(graph, num_seeds, rng):
 
 
 def _record_sweep_candidates(graph, approximation, candidates, method,
-                             max_cluster_size):
+                             max_cluster_size, backend=None):
     """Sweep a diffusion output and record best-per-octave candidates."""
     support = np.flatnonzero(approximation > 0)
     if support.size < 2:
@@ -147,6 +150,7 @@ def _record_sweep_candidates(graph, approximation, candidates, method,
         sweep = sweep_cut(
             graph, approximation, degree_normalize=True,
             restrict_to=support, max_size=max_cluster_size,
+            backend=backend,
         )
     except PartitionError:
         return
@@ -158,10 +162,10 @@ def cluster_ensemble_ncp(graph, grid):
 
     The single generator behind every diffusion dynamics: samples
     ``grid.num_seeds`` seed nodes by degree from ``grid.seed``'s RNG
-    stream, runs the spec's full seed × axis × epsilon grid through its
-    batched engine (``grid.engine="scalar"`` switches to the one-diffusion
-    -at-a-time parity oracle), and records the best sweep prefix of every
-    diffusion column per size octave.
+    stream, runs the spec's full seed × axis × epsilon grid through the
+    backend named by ``grid.backend`` (diffusion columns *and* sweep
+    scans), and records the best sweep prefix of every diffusion column
+    per size octave.
 
     Parameters
     ----------
@@ -191,7 +195,7 @@ def cluster_ensemble_ncp(graph, grid):
         grid.dynamics,
         epsilons=grid.resolved_epsilons(),
         max_cluster_size=grid.resolve_max_cluster_size(graph),
-        engine=grid.engine,
+        backend=grid.backend,
     )
     if pipeline.refiners:
         candidates = refine_candidates(graph, candidates, pipeline.refiners)
@@ -199,23 +203,30 @@ def cluster_ensemble_ncp(graph, grid):
 
 
 def grid_candidates_for_seed_nodes(graph, seed_nodes, spec, *, epsilons,
-                                   max_cluster_size, engine="batched"):
+                                   max_cluster_size, backend=None,
+                                   engine=None):
     """NCP candidates of one registered dynamics for explicit seed nodes.
 
     The sharding entry point used by :mod:`repro.ncp.runner`: the caller
     controls exactly which seed nodes this invocation covers, so grid
     chunks can be distributed across processes and merged
     deterministically.  Dispatch is fully generic — the spec provides the
-    diffusion columns, this function sweeps them.
+    diffusion columns through the named backend (default ``"numpy"``;
+    ``engine`` is the deprecated alias), this function sweeps them with
+    the same backend's prefix scan.
     """
+    backend = _resolve_backend(
+        backend, engine, "grid_candidates_for_seed_nodes"
+    )
     get_dynamics(spec)  # raises UnknownDynamicsError for foreign specs
     label = spec.candidate_label
     candidates = []
     for scores in spec.iter_columns(
-        graph, seed_nodes, epsilons=epsilons, engine=engine
+        graph, seed_nodes, epsilons=epsilons, backend=backend
     ):
         _record_sweep_candidates(
-            graph, scores, candidates, label, max_cluster_size
+            graph, scores, candidates, label, max_cluster_size,
+            backend=backend,
         )
     return candidates
 
@@ -238,7 +249,8 @@ def spectral_cluster_ensemble_ncp(
     """
     grid = DiffusionGrid(
         PPR(alpha=alphas), epsilons=epsilons, num_seeds=num_seeds,
-        seed=seed, max_cluster_size=max_cluster_size, engine=engine,
+        seed=seed, max_cluster_size=max_cluster_size,
+        backend=resolve_backend_name(engine),
     )
     warn_deprecated(
         "spectral_cluster_ensemble_ncp",
@@ -258,7 +270,8 @@ def spectral_candidates_for_seed_nodes(graph, seed_nodes, *, alphas,
     )
     return grid_candidates_for_seed_nodes(
         graph, seed_nodes, spec, epsilons=epsilons,
-        max_cluster_size=max_cluster_size, engine=engine,
+        max_cluster_size=max_cluster_size,
+        backend=resolve_backend_name(engine),
     )
 
 
@@ -275,7 +288,8 @@ def hk_cluster_ensemble_ncp(
     """Deprecated shim: heat-kernel ensemble via the unified grid API."""
     grid = DiffusionGrid(
         HeatKernel(t=ts), epsilons=epsilons, num_seeds=num_seeds,
-        seed=seed, max_cluster_size=max_cluster_size, engine=engine,
+        seed=seed, max_cluster_size=max_cluster_size,
+        backend=resolve_backend_name(engine),
     )
     warn_deprecated(
         "hk_cluster_ensemble_ncp",
@@ -294,7 +308,8 @@ def hk_candidates_for_seed_nodes(graph, seed_nodes, *, ts, epsilons,
     )
     return grid_candidates_for_seed_nodes(
         graph, seed_nodes, spec, epsilons=epsilons,
-        max_cluster_size=max_cluster_size, engine=engine,
+        max_cluster_size=max_cluster_size,
+        backend=resolve_backend_name(engine),
     )
 
 

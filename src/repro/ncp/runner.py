@@ -46,6 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro._validation import as_rng, check_int
+from repro.backends import resolve_backend_name
 from repro.core.reporting import jsonable
 from repro.dynamics import (
     DiffusionGrid,
@@ -80,7 +81,11 @@ __all__ = [
 # Version 2: :func:`graph_fingerprint` switched to framed, canonical-
 # dtype hashing (see its docstring) — version 1 entries were keyed by
 # raw-byte hashes that could alias across dtype/shape boundaries.
-_CACHE_VERSION = 2
+# Version 3: chunks are keyed by canonical backend name unconditionally
+# (the registry replaced the stringly ``engine`` flag, and two backends
+# agree only up to eps-scale sweep perturbations, so entries from
+# different backends must never alias).
+_CACHE_VERSION = 3
 
 # Version of the *refined*-chunk cache-key namespace.  Refiner-bearing
 # chunks hash this tag plus the exact refiner chain on top of the base
@@ -108,11 +113,11 @@ class GridChunk:
     params:
         Sorted ``(name, value-tuple)`` pairs pinning the rest of the grid
         (axes/epsilons/max_cluster_size) — part of the cache key.
-    engine:
-        Which engine evaluates the chunk.  Scalar-oracle chunks get their
-        own cache entries: the engines agree only up to eps-scale sweep
-        perturbations, so a scalar run must never be served batched
-        results (or vice versa).
+    backend:
+        Canonical :mod:`repro.backends` key evaluating the chunk.  Every
+        backend gets its own cache entries: backends agree only up to
+        eps-scale sweep perturbations, so a scalar run must never be
+        served numpy results (or vice versa).
     refiners:
         Ordered refiner chain (frozen spec instances from
         :mod:`repro.refine`) applied to every candidate the chunk
@@ -125,8 +130,14 @@ class GridChunk:
     dynamics: str
     seed_nodes: tuple
     params: tuple
-    engine: str = "batched"
+    backend: str = "numpy"
     refiners: tuple = ()
+
+    @property
+    def engine(self):
+        """Deprecated alias for :attr:`backend`."""
+        warn_deprecated("GridChunk.engine", "GridChunk.backend")
+        return self.backend
 
     def describe(self):
         parts = [f"{name}={value!r}" for name, value in self.params]
@@ -191,7 +202,7 @@ class NCPRunResult:
 
         Everything needed to reproduce the candidate ensemble byte for
         byte — the resolved grid (dynamics axes, epsilons, seed-sampling
-        plan, engine), the resolved refiner chain (one
+        plan, backend), the resolved refiner chain (one
         name/params/token record per stage, in order), the graph
         fingerprint scoping the result to the exact CSR arrays, and the
         execution facts (workers, chunks, cache hits, wall time) that
@@ -215,7 +226,7 @@ class NCPRunResult:
                     None if grid.max_cluster_size is None
                     else int(grid.max_cluster_size)
                 ),
-                "engine": grid.engine,
+                "backend": grid.backend,
             },
             "refiners": [
                 {
@@ -292,18 +303,30 @@ def _grid_params(grid, graph):
 
 
 def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8,
-                engine="batched", refiners=()):
+                backend=None, refiners=(), engine=None):
     """Split a seed list into deterministic :class:`GridChunk` shards.
 
     ``dynamics`` may be a canonical name, an alias, a spec instance, or a
     :class:`~repro.dynamics.DynamicsKind`; chunks always record the
-    canonical name.  ``refiners`` (any chain
-    :func:`~repro.refine.as_refiner_chain` accepts) is stamped onto
-    every chunk.  The split depends only on the seed list and
-    ``seeds_per_chunk`` — never on the worker count — so cache keys and
-    merge order are stable across machines and pool sizes.
+    canonical name.  ``backend`` (any name or alias
+    :func:`~repro.backends.resolve_backend_name` accepts; default
+    ``"numpy"``) and ``refiners`` (any chain
+    :func:`~repro.refine.as_refiner_chain` accepts) are stamped onto
+    every chunk; ``engine`` is the deprecated alias for ``backend``.
+    The split depends only on the seed list and ``seeds_per_chunk`` —
+    never on the worker count — so cache keys and merge order are stable
+    across machines and pool sizes.
     """
     check_int(seeds_per_chunk, "seeds_per_chunk", minimum=1)
+    if engine is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                "pass backend= or the deprecated engine= to plan_chunks, "
+                "not both"
+            )
+        backend = resolve_backend_name(engine)
+        warn_deprecated("plan_chunks(engine=...)", "plan_chunks(backend=...)")
+    backend = resolve_backend_name("numpy" if backend is None else backend)
     dynamics = resolve_dynamics_name(dynamics)
     refiners = as_refiner_chain(refiners)
     seed_nodes = [int(s) for s in seed_nodes]
@@ -313,7 +336,7 @@ def plan_chunks(dynamics, seed_nodes, params, *, seeds_per_chunk=8,
             dynamics=dynamics,
             seed_nodes=tuple(seed_nodes[start:start + seeds_per_chunk]),
             params=tuple(params),
-            engine=engine,
+            backend=backend,
             refiners=refiners,
         )
         for i, start in enumerate(
@@ -326,10 +349,9 @@ def _chunk_cache_key(fingerprint, chunk):
     digest = hashlib.sha256()
     digest.update(f"v{_CACHE_VERSION}|{fingerprint}|".encode())
     digest.update(chunk.describe().encode())
-    if chunk.engine != "batched":
-        # Keyed separately from (and without invalidating) the historical
-        # batched entries, which predate the engine field.
-        digest.update(f"|engine={chunk.engine}".encode())
+    # Keyed by backend unconditionally: two backends agree only up to
+    # eps-scale sweep perturbations, so their entries must never alias.
+    digest.update(f"|backend={chunk.backend}".encode())
     if chunk.refiners:
         # Refined chunks live in their own versioned key namespace: a raw
         # run can never be served refined candidates (or vice versa), and
@@ -449,7 +471,7 @@ def _evaluate_chunk(graph, chunk):
         chunk.spec(),
         epsilons=params["epsilons"],
         max_cluster_size=params["max_cluster_size"],
-        engine=chunk.engine,
+        backend=chunk.backend,
     )
     if chunk.refiners:
         candidates = refine_candidates(graph, candidates, chunk.refiners)
@@ -637,7 +659,7 @@ max_cluster_size, seed:
     params = _grid_params(grid, graph)
     chunks = plan_chunks(
         grid.dynamics, seed_nodes, params,
-        seeds_per_chunk=seeds_per_chunk, engine=grid.engine,
+        seeds_per_chunk=seeds_per_chunk, backend=grid.backend,
         refiners=refiners,
     )
 

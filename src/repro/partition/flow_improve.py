@@ -20,13 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro._validation import check_int
+from repro.backends import resolve_backend_name
 from repro.diffusion._csr import gather_csr_arcs
 from repro.exceptions import InvalidParameterError, PartitionError
 from repro.partition.metrics import conductance
 from repro.partition.mqi import mqi
-
-_IMPLEMENTATIONS = ("vectorized", "scalar")
 
 
 @dataclass
@@ -63,22 +63,29 @@ class FlowImproveResult:
     converged: bool = True
 
 
-def dilate(graph, nodes, radius, *, implementation="vectorized"):
+def dilate(graph, nodes, radius, *, backend=None, implementation=None):
     """All nodes within ``radius`` hops of the set (including the set).
 
-    ``implementation="vectorized"`` (the default) expands each BFS
-    frontier with one shared CSR gather (:func:`gather_csr_arcs`) plus a
-    boolean-mask scatter — no per-node Python loop; ``"scalar"`` is the
+    The ``numpy`` backend (the default) expands each BFS frontier with
+    one shared CSR gather (:func:`gather_csr_arcs`) plus a boolean-mask
+    scatter — no per-node Python loop; the ``scalar`` backend is the
     original set-based BFS, kept as the parity oracle (benchmark E14
-    measures the gap).
+    measures the gap).  Any other registered backend name resolves but
+    runs the numpy BFS (dilation has no JIT kernel).  ``implementation``
+    is the deprecated alias (``"vectorized"`` -> ``"numpy"``).
     """
     radius = check_int(radius, "radius", minimum=0)
-    if implementation not in _IMPLEMENTATIONS:
-        raise InvalidParameterError(
-            f"implementation must be one of {_IMPLEMENTATIONS}; got "
-            f"{implementation!r}"
+    if implementation is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                "pass backend= or the deprecated implementation=, not both"
+            )
+        backend = resolve_backend_name(implementation)
+        warn_deprecated(
+            "dilate(implementation=...)", "dilate(backend=...)"
         )
-    if implementation == "scalar":
+    key = resolve_backend_name("numpy" if backend is None else backend)
+    if key == "scalar":
         return _dilate_scalar(graph, nodes, radius)
     seen = np.zeros(graph.num_nodes, dtype=bool)
     frontier = np.unique(np.atleast_1d(np.asarray(nodes, dtype=np.int64)))

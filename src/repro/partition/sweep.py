@@ -4,9 +4,11 @@ Given a score vector, order the nodes by score and examine every prefix set;
 return the prefix of minimum conductance. This is the rounding step shared by
 every spectral method in the paper — global (Section 3.2), locally-biased
 (Problem (8)), and strongly local (Section 3.3). The incremental update makes
-a full sweep cost ``O(m + n log n)``; the default scan vectorizes that
-incremental update into a single bincount/cumsum pass over the CSR arrays
-(the scalar loop survives as the parity reference).
+a full sweep cost ``O(m + n log n)``; the default (``numpy`` backend) scan
+vectorizes that incremental update into a single bincount/cumsum pass over
+the CSR arrays, the ``scalar`` backend keeps the node-at-a-time parity
+reference, and the optional ``numba`` backend JIT-compiles the incremental
+loop (see :mod:`repro.backends`).
 
 Conventions: diffusion outputs are degree-normalized before ordering
 (``p_u / d_u``), which is the ordering for which the Cheeger-style guarantees
@@ -21,8 +23,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro._validation import check_vector
-from repro.diffusion.engine import gather_csr_arcs
+from repro.backends import get_backend, resolve_backend_name
 from repro.exceptions import InvalidParameterError, PartitionError
 
 
@@ -55,122 +58,9 @@ class SweepCutResult:
     profile: np.ndarray = field(repr=False, default=None)
 
 
-def _prefix_scan_scalar(graph, order, max_size, max_volume, min_size):
-    """Reference prefix-conductance scan: one node at a time.
-
-    Kept as the parity oracle for the vectorized scan (and for
-    instructional clarity — it is the loop the incremental-update analysis
-    in the module docstring describes).
-    """
-    degrees = graph.degrees
-    total_volume = graph.total_volume
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
-    in_prefix = np.zeros(graph.num_nodes, dtype=bool)
-    cut = 0.0
-    volume = 0.0
-    best = (float("inf"), -1, 0.0)
-    profile = np.full(max_size, np.inf)
-    for position in range(max_size):
-        if position + 1 >= graph.num_nodes:
-            break  # the full node set is not a valid cut
-        u = int(order[position])
-        du = degrees[u]
-        internal = 0.0
-        for k in range(indptr[u], indptr[u + 1]):
-            if in_prefix[indices[k]]:
-                internal += weights[k]
-        cut += du - 2.0 * internal
-        volume += du
-        in_prefix[u] = True
-        if max_volume is not None and volume > max_volume:
-            break
-        other = total_volume - volume
-        if other <= 0:
-            break
-        denominator = min(volume, other)
-        if denominator > 0:
-            phi = cut / denominator
-            profile[position] = phi
-            if position + 1 >= min_size and phi < best[0]:
-                best = (phi, position, volume)
-    return profile, best
-
-
-def _prefix_scan_vectorized(graph, order, max_size, max_volume, min_size):
-    """Vectorized prefix-conductance scan over the CSR arrays.
-
-    Each arc ``(u, v)`` with both endpoints in the sweep order becomes
-    internal at step ``max(rank(u), rank(v))``; a bincount over that step
-    index plus a cumulative sum reproduces the scalar scan's incremental
-    ``cut``/``volume`` updates without the per-edge Python loop. Ties are
-    broken identically to the scalar scan (first minimum wins).
-    """
-    degrees = graph.degrees
-    total_volume = graph.total_volume
-    n = graph.num_nodes
-    profile = np.full(max_size, np.inf)
-    limit = min(max_size, max(n - 1, 0))
-    if limit <= 0:
-        return profile, (float("inf"), -1, 0.0)
-    prefix = order[:limit].astype(np.int64)
-    volumes = np.cumsum(degrees[prefix])
-
-    rank = np.full(n, limit, dtype=np.int64)
-    rank[prefix] = np.arange(limit)
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
-    arc_positions, counts = gather_csr_arcs(indptr, prefix)
-    if arc_positions.size:
-        src_rank = np.repeat(np.arange(limit), counts)
-        dst_rank = rank[indices[arc_positions]]
-        internal = dst_rank < limit
-        step = np.maximum(src_rank[internal], dst_rank[internal])
-        # Each internal undirected edge contributes two arcs with the same
-        # step, so this bincount accumulates exactly 2 x internal weight.
-        twice_internal = np.cumsum(np.bincount(
-            step, weights=weights[arc_positions][internal], minlength=limit
-        ))
-    else:
-        twice_internal = np.zeros(limit)
-    cut = volumes - twice_internal
-    other = total_volume - volumes
-
-    # Replicate the scalar scan's early exits: once a prefix exceeds the
-    # volume cap or swallows the whole volume, no later prefix is scored.
-    valid = np.ones(limit, dtype=bool)
-    if max_volume is not None:
-        over = volumes > max_volume
-        if over.any():
-            valid[int(np.argmax(over)):] = False
-    exhausted = other <= 0
-    if exhausted.any():
-        valid[int(np.argmax(exhausted)):] = False
-
-    denominator = np.minimum(volumes, other)
-    scored = valid & (denominator > 0)
-    phi = np.full(limit, np.inf)
-    phi[scored] = cut[scored] / denominator[scored]
-    profile[:limit] = phi
-
-    best = (float("inf"), -1, 0.0)
-    low = min_size - 1
-    if low < limit:
-        position = low + int(np.argmin(phi[low:]))
-        if np.isfinite(phi[position]):
-            best = (
-                float(phi[position]), position, float(volumes[position])
-            )
-    return profile, best
-
-
-_PREFIX_SCANS = {
-    "scalar": _prefix_scan_scalar,
-    "vectorized": _prefix_scan_vectorized,
-}
-
-
 def sweep_cut(graph, scores, *, degree_normalize=True, restrict_to=None,
               max_volume=None, min_size=1, max_size=None,
-              implementation="vectorized"):
+              backend=None, implementation=None):
     """Find the minimum-conductance prefix of the score ordering.
 
     Parameters
@@ -191,11 +81,12 @@ def sweep_cut(graph, scores, *, degree_normalize=True, restrict_to=None,
         ``vol(S) <= k`` of Problem (9)).
     min_size, max_size:
         Restrict the admissible prefix sizes.
+    backend:
+        Registered backend name or :class:`~repro.backends.EngineBackend`
+        providing the prefix scan; default ``"numpy"``. All backends visit
+        prefixes in the same order and break ties identically.
     implementation:
-        ``"vectorized"`` (default) scans every prefix with NumPy bincount
-        arithmetic; ``"scalar"`` is the node-at-a-time reference loop kept
-        for parity testing. Both scans visit prefixes in the same order
-        and break ties identically.
+        Deprecated alias for ``backend`` (``"vectorized"`` -> ``"numpy"``).
 
     Returns
     -------
@@ -206,11 +97,16 @@ def sweep_cut(graph, scores, *, degree_normalize=True, restrict_to=None,
     PartitionError
         When no admissible prefix exists (e.g. empty restriction).
     """
-    if implementation not in _PREFIX_SCANS:
-        raise InvalidParameterError(
-            "implementation must be one of "
-            f"{sorted(_PREFIX_SCANS)}; got {implementation!r}"
+    if implementation is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                "pass backend= or the deprecated implementation=, not both"
+            )
+        backend = resolve_backend_name(implementation)
+        warn_deprecated(
+            "sweep_cut(implementation=...)", "sweep_cut(backend=...)"
         )
+    ops = get_backend("numpy" if backend is None else backend)
     scores = check_vector(scores, graph.num_nodes, "scores")
     degrees = graph.degrees
     if degree_normalize:
@@ -230,7 +126,7 @@ def sweep_cut(graph, scores, *, degree_normalize=True, restrict_to=None,
         max_size = order.size
     max_size = min(max_size, order.size)
 
-    profile, best = _PREFIX_SCANS[implementation](
+    profile, best = ops.prefix_scan(
         graph, order, max_size, max_volume, min_size
     )
     phi_best, position_best, volume_best = best
@@ -248,7 +144,7 @@ def sweep_cut(graph, scores, *, degree_normalize=True, restrict_to=None,
 
 
 def all_prefix_clusters(graph, scores, *, degree_normalize=True,
-                        restrict_to=None, max_size=None):
+                        restrict_to=None, max_size=None, backend=None):
     """Every sweep prefix with its conductance, as ``(size, φ, volume)`` rows.
 
     The cluster-ensemble generator for NCP profiles: a single diffusion
@@ -256,7 +152,7 @@ def all_prefix_clusters(graph, scores, *, degree_normalize=True,
     """
     result = sweep_cut(
         graph, scores, degree_normalize=degree_normalize,
-        restrict_to=restrict_to, max_size=max_size,
+        restrict_to=restrict_to, max_size=max_size, backend=backend,
     )
     rows = []
     degrees = graph.degrees

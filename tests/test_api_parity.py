@@ -10,10 +10,16 @@ it now wraps, for all three canonical dynamics on the reference graphs.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
+from repro.backends import UnknownBackendError
+from repro.diffusion.seeds import degree_weighted_indicator_seed
+from repro.diffusion.truncated_walk import truncated_lazy_walk
 from repro.dynamics import DiffusionGrid, HeatKernel, LazyWalk, PPR
+from repro.exceptions import InvalidParameterError
 from repro.ncp.compare import figure1_comparison
 from repro.ncp.profile import (
     cluster_ensemble_ncp,
@@ -26,13 +32,15 @@ from repro.ncp.profile import (
     walk_cluster_ensemble_ncp,
     walk_candidates_for_seed_nodes,
 )
-from repro.ncp.runner import run_ncp_ensemble
+from repro.ncp.runner import plan_chunks, run_ncp_ensemble
+from repro.partition.flow_improve import dilate
 from repro.partition.local import (
     acl_cluster,
     hk_cluster,
     local_cluster,
     nibble_cluster,
 )
+from repro.partition.sweep import sweep_cut
 
 # The shims under test *should* warn; keep the warnings observable
 # instead of promoted to errors.
@@ -291,6 +299,129 @@ class TestFlowEnsembleShimParity:
         )
         assert len(old) > 0
         assert candidate_signature(old) == candidate_signature(new)
+
+
+class TestBackendShimParity:
+    """The pre-registry ``engine=`` / ``implementation=`` stringly flags
+    against the backend registry: every shim must warn, map its legacy
+    vocabulary onto the canonical backend names, and produce bit-identical
+    results; giving both spellings is an error, and an *invalid* legacy
+    value raises :class:`UnknownBackendError` without warning first."""
+
+    def test_sweep_cut_implementation_shim(self, whiskered):
+        scores = np.linspace(1.0, 0.0, whiskered.num_nodes)
+        for legacy, canonical in (("vectorized", "numpy"),
+                                  ("scalar", "scalar")):
+            with pytest.warns(DeprecationWarning,
+                              match="sweep_cut.implementation"):
+                old = sweep_cut(whiskered, scores, implementation=legacy)
+            new = sweep_cut(whiskered, scores, backend=canonical)
+            assert np.array_equal(old.nodes, new.nodes)
+            assert old.conductance == new.conductance
+            assert np.array_equal(old.profile, new.profile)
+
+    def test_truncated_lazy_walk_implementation_shim(self, whiskered):
+        seed = degree_weighted_indicator_seed(whiskered, [44])
+        with pytest.warns(DeprecationWarning,
+                          match="truncated_lazy_walk.implementation"):
+            old = truncated_lazy_walk(
+                whiskered, seed, 8, epsilon=1e-4,
+                implementation="vectorized",
+            )
+        new = truncated_lazy_walk(
+            whiskered, seed, 8, epsilon=1e-4, backend="numpy"
+        )
+        assert np.array_equal(old.final, new.final)
+        assert old.support_sizes == new.support_sizes
+        assert old.dropped_mass == new.dropped_mass
+        assert len(old.trajectory) == len(new.trajectory)
+        for old_v, new_v in zip(old.trajectory, new.trajectory):
+            assert np.array_equal(old_v, new_v)
+
+    def test_dilate_implementation_shim(self, whiskered):
+        with pytest.warns(DeprecationWarning, match="dilate.implementation"):
+            old = dilate(whiskered, [0, 1, 2], 1, implementation="scalar")
+        new = dilate(whiskered, [0, 1, 2], 1, backend="scalar")
+        assert np.array_equal(old, new)
+
+    def test_diffusion_grid_engine_shim(self):
+        for legacy, canonical in (("batched", "numpy"),
+                                  ("scalar", "scalar")):
+            with pytest.warns(DeprecationWarning,
+                              match="DiffusionGrid.engine"):
+                old = DiffusionGrid(PPR(), num_seeds=4, seed=0,
+                                    engine=legacy)
+            new = DiffusionGrid(PPR(), num_seeds=4, seed=0,
+                                backend=canonical)
+            assert old.backend == canonical
+            assert old.engine is None
+            # Shim-built grids compare and hash equal to canonical ones.
+            assert old == new
+            assert hash(old) == hash(new)
+
+    def test_iter_columns_engine_shim(self, whiskered):
+        spec = PPR(alpha=(0.1,))
+        with pytest.warns(DeprecationWarning,
+                          match="PPR.iter_columns.engine"):
+            old = list(spec.iter_columns(
+                whiskered, [44, 3], epsilons=(1e-3,), engine="batched"
+            ))
+        new = list(spec.iter_columns(
+            whiskered, [44, 3], epsilons=(1e-3,), backend="numpy"
+        ))
+        assert len(old) == len(new) > 0
+        for old_col, new_col in zip(old, new):
+            assert np.array_equal(old_col, new_col)
+
+    def test_plan_chunks_engine_shim(self, whiskered):
+        with pytest.warns(DeprecationWarning, match="plan_chunks.engine"):
+            old = plan_chunks(
+                "ppr", [44, 3, 17], {"alphas": (0.1,)}, engine="batched"
+            )
+        new = plan_chunks(
+            "ppr", [44, 3, 17], {"alphas": (0.1,)}, backend="numpy"
+        )
+        assert old == new
+        assert all(chunk.backend == "numpy" for chunk in old)
+
+    def test_grid_chunk_engine_property_warns(self):
+        chunks = plan_chunks(
+            "ppr", [0, 1], {"alphas": (0.1,)}, backend="scalar"
+        )
+        with pytest.warns(DeprecationWarning, match="GridChunk.engine"):
+            assert chunks[0].engine == "scalar"
+
+    def test_both_spellings_is_an_error(self, whiskered):
+        scores = np.linspace(1.0, 0.0, whiskered.num_nodes)
+        seed = degree_weighted_indicator_seed(whiskered, [44])
+        with pytest.raises(InvalidParameterError):
+            sweep_cut(whiskered, scores, backend="numpy",
+                      implementation="vectorized")
+        with pytest.raises(InvalidParameterError):
+            truncated_lazy_walk(whiskered, seed, 4, epsilon=1e-3,
+                                backend="numpy",
+                                implementation="vectorized")
+        with pytest.raises(InvalidParameterError):
+            dilate(whiskered, [0], 1, backend="scalar",
+                   implementation="scalar")
+        with pytest.raises(InvalidParameterError):
+            DiffusionGrid(PPR(), backend="numpy", engine="batched")
+        with pytest.raises(InvalidParameterError):
+            plan_chunks("ppr", [0], {}, backend="numpy", engine="batched")
+
+    def test_invalid_legacy_value_raises_without_warning(self, whiskered):
+        # Resolution happens before the deprecation warning fires: a bogus
+        # legacy value must fail loudly, not half-warn about a migration
+        # that cannot succeed.
+        scores = np.linspace(1.0, 0.0, whiskered.num_nodes)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(UnknownBackendError):
+                sweep_cut(whiskered, scores, implementation="simd")
+            with pytest.raises(UnknownBackendError):
+                DiffusionGrid(PPR(), engine="gpu")
+            with pytest.raises(UnknownBackendError):
+                plan_chunks("ppr", [0], {}, engine="tpu")
 
 
 class TestFigure1ShimParity:

@@ -1,0 +1,340 @@
+"""The EngineBackend registry and its per-backend parity harness.
+
+Covers the registry contract (canonical names, aliases, did-you-mean
+errors, third-party registration), the oracle harness — every registered
+backend is parity-tested against the ``numpy`` reference on the
+whiskered-expander and AtP-DBLP reference graphs for all three canonical
+dynamics — the numba-absent fallback path, and the runner's per-backend
+cache-key / worker-count guarantees.
+
+Registering a new backend is enough to enroll it here: the parity and
+worker-identity tests parametrize over ``registered_backends()``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    EngineBackend,
+    UnknownBackendError,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    unregister_backend,
+)
+from repro.datasets import load_graph
+from repro.dynamics import DiffusionGrid, HeatKernel, LazyWalk, PPR
+from repro.exceptions import InvalidParameterError
+from repro.ncp.profile import best_per_size_bucket, cluster_ensemble_ncp
+from repro.ncp.runner import GridChunk, _chunk_cache_key, run_ncp_ensemble
+
+
+def candidate_signature(candidates):
+    """Order-sensitive exact signature of a candidate ensemble."""
+    return [
+        (c.nodes.tobytes(), c.conductance, c.method) for c in candidates
+    ]
+
+
+def _quiet_ensemble(graph, grid):
+    """Run one ensemble with backend fallback warnings suppressed."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return cluster_ensemble_ncp(graph, grid)
+
+
+def _delegating_backend(key, aliases=()):
+    """A third-party backend that borrows the numpy kernels."""
+    reference = get_backend("numpy")
+    return EngineBackend(
+        key=key,
+        description="test double delegating every kernel to numpy",
+        aliases=aliases,
+        ppr_grid=reference.ppr_grid,
+        hk_grid=reference.hk_grid,
+        ppr_push=reference.ppr_push,
+        hk_push=reference.hk_push,
+        walk_step=reference.walk_step,
+        prefix_scan=reference.prefix_scan,
+    )
+
+
+class TestRegistry:
+    def test_canonical_names_present(self):
+        assert set(registered_backends()) >= {"numpy", "scalar", "numba"}
+
+    def test_legacy_vocabulary_resolves_as_aliases(self):
+        assert resolve_backend_name("batched") == "numpy"
+        assert resolve_backend_name("vectorized") == "numpy"
+        assert resolve_backend_name("scalar") == "scalar"
+        assert resolve_backend_name("jit") == "numba"
+
+    def test_resolution_normalizes_case_and_whitespace(self):
+        assert resolve_backend_name(" NumPy ") == "numpy"
+        assert resolve_backend_name("SCALAR") == "scalar"
+        assert resolve_backend_name(" Jit ") == "numba"
+
+    def test_resolve_accepts_backend_instance(self):
+        backend = get_backend("scalar")
+        assert resolve_backend_name(backend) == "scalar"
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_error_type_and_suggestion(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("numpyy")
+        assert isinstance(excinfo.value, InvalidParameterError)
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, KeyError)
+        assert "did you mean 'numpy'" in str(excinfo.value)
+
+    def test_unknown_backend_lists_registry(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            resolve_backend_name("gpu")
+        message = str(excinfo.value)
+        assert "numpy" in message and "scalar" in message
+
+    def test_register_unregister_roundtrip(self, whiskered):
+        backend = _delegating_backend("mirror", aliases=("looking_glass",))
+        register_backend(backend)
+        try:
+            assert resolve_backend_name("mirror") == "mirror"
+            assert resolve_backend_name("looking-glass") == "mirror"
+            grid = dict(
+                dynamics=PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=3,
+                seed=0,
+            )
+            mirrored = cluster_ensemble_ncp(
+                whiskered, DiffusionGrid(backend="mirror", **grid)
+            )
+            reference = cluster_ensemble_ncp(
+                whiskered, DiffusionGrid(backend="numpy", **grid)
+            )
+            assert candidate_signature(mirrored) == candidate_signature(
+                reference
+            )
+        finally:
+            unregister_backend("mirror")
+        with pytest.raises(UnknownBackendError):
+            resolve_backend_name("mirror")
+        with pytest.raises(UnknownBackendError):
+            resolve_backend_name("looking_glass")
+
+    def test_registration_collisions_are_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_backend(_delegating_backend("numpy"))
+        with pytest.raises(InvalidParameterError):
+            register_backend(_delegating_backend("mine", aliases=("jit",)))
+        # Not an EngineBackend at all.
+        with pytest.raises(InvalidParameterError):
+            register_backend("numpy")
+
+    def test_overwrite_replaces_previous_registration(self):
+        original = get_backend("numpy")
+        replacement = _delegating_backend(
+            "numpy", aliases=original.aliases
+        )
+        register_backend(replacement, overwrite=True)
+        try:
+            assert get_backend("numpy") is replacement
+        finally:
+            register_backend(original, overwrite=True)
+        assert get_backend("numpy") is original
+
+    def test_builtin_backends_answer_available(self):
+        assert get_backend("numpy").available() is True
+        assert get_backend("scalar").available() is True
+        assert get_backend("numba").available() in (True, False)
+
+
+# One modest grid per canonical dynamics: enough seeds to cover whisker
+# and core candidates without making the scalar oracle runs slow.
+PARITY_SPECS = {
+    "ppr": PPR(alpha=(0.05, 0.15)),
+    "hk": HeatKernel(t=(2.0, 8.0)),
+    "walk": LazyWalk(steps=(4, 16)),
+}
+
+
+@pytest.fixture(params=["whiskered", "atp"])
+def parity_graph(request, whiskered):
+    if request.param == "whiskered":
+        return whiskered
+    return load_graph("atp")
+
+
+class TestBackendParityHarness:
+    """Every registered backend against the numpy reference.
+
+    The parametrization reads the registry, so a newly registered
+    backend is parity-tested here with no harness changes.  The heat
+    kernel and the lazy walk reproduce the reference candidate for
+    candidate (their kernels agree to summation order); PPR push
+    schedules agree only within the eps*d guarantee, so its ensembles
+    are compared through the bucketed NCP profile, matching the
+    long-standing engine-parity convention.
+    """
+
+    @pytest.mark.parametrize("backend", sorted(registered_backends()))
+    @pytest.mark.parametrize("dynamics", sorted(PARITY_SPECS))
+    def test_backend_matches_numpy_reference(self, parity_graph, backend,
+                                             dynamics):
+        # PPR runs at eps=1e-4: the per-candidate divergence between
+        # push schedules is bounded by eps*d, so the tighter truncation
+        # keeps the bucketed profiles well inside the 0.05 tolerance.
+        epsilons = (1e-4,) if dynamics == "ppr" else (1e-3,)
+        base = dict(epsilons=epsilons, num_seeds=4, seed=0)
+        spec = PARITY_SPECS[dynamics]
+        got = _quiet_ensemble(
+            parity_graph, DiffusionGrid(spec, backend=backend, **base)
+        )
+        reference = _quiet_ensemble(
+            parity_graph, DiffusionGrid(spec, backend="numpy", **base)
+        )
+        assert len(got) > 0
+        # PPR candidates carry the historical "spectral" method label.
+        label = "spectral" if dynamics == "ppr" else dynamics
+        assert all(c.method == label for c in got)
+        if dynamics == "ppr":
+            ours = best_per_size_bucket(got, num_buckets=6)
+            theirs = best_per_size_bucket(reference, num_buckets=6)
+            finite = np.isfinite(ours.best_conductance)
+            assert np.array_equal(
+                finite, np.isfinite(theirs.best_conductance)
+            )
+            assert np.allclose(
+                ours.best_conductance[finite],
+                theirs.best_conductance[finite],
+                atol=0.05,
+            )
+        else:
+            assert candidate_signature(got) == candidate_signature(
+                reference
+            )
+
+    @pytest.mark.parametrize("backend", sorted(registered_backends()))
+    def test_sweep_scan_is_exact_for_every_backend(self, whiskered,
+                                                   backend):
+        from repro.partition.sweep import sweep_cut
+
+        rng = np.random.default_rng(5)
+        scores = rng.random(whiskered.num_nodes)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            got = sweep_cut(whiskered, scores, backend=backend)
+        reference = sweep_cut(whiskered, scores, backend="numpy")
+        assert np.array_equal(got.nodes, reference.nodes)
+        assert got.conductance == reference.conductance
+        assert got.volume == reference.volume
+
+
+class TestNumbaFallback:
+    @pytest.fixture
+    def absent_numba(self, monkeypatch):
+        """Force the numba import to fail and reset the fallback state."""
+        from repro.backends import _numba
+
+        def refuse():
+            raise ImportError("numba disabled for this test")
+
+        saved = dict(_numba._STATE)
+        monkeypatch.setattr(_numba, "_import_numba", refuse)
+        _numba._STATE.update(
+            checked=False, module=None, kernels=None, warned=False
+        )
+        yield _numba
+        _numba._STATE.update(saved)
+
+    def test_fallback_warns_exactly_once_and_matches_numpy(
+            self, whiskered, absent_numba):
+        grid = dict(
+            dynamics=PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=3,
+            seed=0,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = cluster_ensemble_ncp(
+                whiskered, DiffusionGrid(backend="numba", **grid)
+            )
+            second = cluster_ensemble_ncp(
+                whiskered, DiffusionGrid(backend="numba", **grid)
+            )
+        runtime = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime) == 1
+        assert "falling back" in str(runtime[0].message)
+        assert "pip install repro[jit]" in str(runtime[0].message)
+
+        reference = cluster_ensemble_ncp(
+            whiskered, DiffusionGrid(backend="numpy", **grid)
+        )
+        assert candidate_signature(first) == candidate_signature(reference)
+        assert candidate_signature(second) == candidate_signature(reference)
+
+    def test_probe_reports_unavailable_without_warning(self,
+                                                       absent_numba):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert get_backend("numba").available() is False
+            assert absent_numba.numba_available() is False
+
+    def test_fallback_sweep_and_walk_match_numpy(self, whiskered,
+                                                 absent_numba):
+        from repro.diffusion.seeds import indicator_seed
+        from repro.diffusion.truncated_walk import truncated_lazy_walk
+        from repro.partition.sweep import sweep_cut
+
+        rng = np.random.default_rng(3)
+        scores = rng.random(whiskered.num_nodes)
+        seed = indicator_seed(whiskered, [0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            jit_cut = sweep_cut(whiskered, scores, backend="numba")
+            jit_walk = truncated_lazy_walk(
+                whiskered, seed, 8, epsilon=1e-3, backend="numba"
+            )
+        ref_cut = sweep_cut(whiskered, scores, backend="numpy")
+        ref_walk = truncated_lazy_walk(
+            whiskered, seed, 8, epsilon=1e-3, backend="numpy"
+        )
+        assert np.array_equal(jit_cut.nodes, ref_cut.nodes)
+        assert jit_cut.conductance == ref_cut.conductance
+        assert np.array_equal(jit_walk.final, ref_walk.final)
+        assert jit_walk.dropped_mass == ref_walk.dropped_mass
+
+
+class TestRunnerBackendGuarantees:
+    def test_cache_keys_differ_per_backend(self):
+        params = (("alphas", (0.1,)), ("epsilons", (1e-3,)))
+        keys = {
+            _chunk_cache_key(
+                "fp", GridChunk(0, "ppr", (0, 1), params, backend=name)
+            )
+            for name in sorted(registered_backends())
+        }
+        assert len(keys) == len(registered_backends())
+
+    @pytest.mark.parametrize("backend", sorted(registered_backends()))
+    def test_worker_pool_is_byte_identical_per_backend(self, whiskered,
+                                                       backend):
+        grid = DiffusionGrid(
+            PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=4, seed=0,
+            backend=backend,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            serial = run_ncp_ensemble(whiskered, grid, seeds_per_chunk=2)
+            pooled = run_ncp_ensemble(
+                whiskered, grid, seeds_per_chunk=2, num_workers=2
+            )
+        assert candidate_signature(serial.candidates) == (
+            candidate_signature(pooled.candidates)
+        )
+        assert serial.manifest()["grid"]["backend"] == (
+            resolve_backend_name(backend)
+        )

@@ -245,11 +245,11 @@ class TestSweepScanParity:
             scores = rng.integers(0, 4, size=graph.num_nodes).astype(float)
             scalar = sweep_cut(
                 graph, scores, degree_normalize=False,
-                implementation="scalar",
+                backend="scalar",
             )
             fast = sweep_cut(
                 graph, scores, degree_normalize=False,
-                implementation="vectorized",
+                backend="numpy",
             )
             assert np.array_equal(scalar.nodes, fast.nodes)
             assert scalar.conductance == fast.conductance
@@ -272,10 +272,10 @@ class TestSweepScanParity:
                     whiskered.num_nodes, size=20, replace=False
                 )
             scalar = sweep_cut(
-                whiskered, scores, implementation="scalar", **kwargs
+                whiskered, scores, backend="scalar", **kwargs
             )
             fast = sweep_cut(
-                whiskered, scores, implementation="vectorized", **kwargs
+                whiskered, scores, backend="numpy", **kwargs
             )
             assert np.array_equal(scalar.nodes, fast.nodes)
             assert scalar.conductance == pytest.approx(
@@ -293,7 +293,7 @@ class TestSweepScanParity:
         with pytest.raises(InvalidParameterError):
             sweep_cut(
                 whiskered, rng.random(whiskered.num_nodes),
-                implementation="quantum",
+                backend="quantum",
             )
 
 
@@ -310,10 +310,10 @@ class TestNCPEngineParity:
             num_seeds=8, seed=0,
         )
         scalar = cluster_ensemble_ncp(
-            whiskered, DiffusionGrid(engine="scalar", **kwargs)
+            whiskered, DiffusionGrid(backend="scalar", **kwargs)
         )
         batched = cluster_ensemble_ncp(
-            whiskered, DiffusionGrid(engine="batched", **kwargs)
+            whiskered, DiffusionGrid(backend="numpy", **kwargs)
         )
         assert len(batched) > 0
         profile_scalar = best_per_size_bucket(scalar, num_buckets=6)
@@ -336,7 +336,7 @@ class TestNCPEngineParity:
         from repro.dynamics import DiffusionGrid, PPR
 
         with pytest.raises(InvalidParameterError):
-            DiffusionGrid(PPR(), engine="gpu")
+            DiffusionGrid(PPR(), backend="gpu")
 
 
 class TestHeatKernelPushHardening:
@@ -490,10 +490,10 @@ class TestVectorizedTruncatedWalk:
     def test_matches_scalar_trajectory(self, whiskered):
         s = degree_weighted_indicator_seed(whiskered, [7])
         scalar = truncated_lazy_walk(
-            whiskered, s, 12, epsilon=1e-4, implementation="scalar"
+            whiskered, s, 12, epsilon=1e-4, backend="scalar"
         )
         fast = truncated_lazy_walk(
-            whiskered, s, 12, epsilon=1e-4, implementation="vectorized"
+            whiskered, s, 12, epsilon=1e-4, backend="numpy"
         )
         assert len(scalar.trajectory) == len(fast.trajectory) == 13
         for a, b in zip(scalar.trajectory, fast.trajectory):
@@ -517,11 +517,11 @@ class TestVectorizedTruncatedWalk:
             steps = int(rng.integers(1, 10))
             scalar = truncated_lazy_walk(
                 graph, s, steps, epsilon=epsilon, alpha=alpha,
-                implementation="scalar",
+                backend="scalar",
             )
             fast = truncated_lazy_walk(
                 graph, s, steps, epsilon=epsilon, alpha=alpha,
-                implementation="vectorized",
+                backend="numpy",
             )
             assert np.allclose(scalar.final, fast.final, atol=1e-13)
 
@@ -538,7 +538,7 @@ class TestVectorizedTruncatedWalk:
         with pytest.raises(InvalidParameterError):
             truncated_lazy_walk(
                 ring, indicator_seed(ring, [0]), 3, epsilon=1e-3,
-                implementation="fpga",
+                backend="fpga",
             )
 
 
@@ -600,14 +600,14 @@ class TestEnginePerformanceRegression:
             )
             return time.perf_counter() - start, result
 
-        def time_walk(implementation):
+        def time_walk(backend):
             def timer():
                 start = time.perf_counter()
                 for vector in seeds:
                     truncated_lazy_walk(
                         graph, vector, walk_steps, epsilon=1e-4,
                         keep_trajectory=False,
-                        implementation=implementation,
+                        backend=backend,
                     )
                 return time.perf_counter() - start, None
             return timer
@@ -623,7 +623,7 @@ class TestEnginePerformanceRegression:
         hk_scalar_seconds, _ = best_of(time_hk_scalar)
         hk_batched_seconds, hk_batch = best_of(time_hk_batched)
         walk_scalar_seconds, _ = best_of(time_walk("scalar"))
-        walk_vec_seconds, _ = best_of(time_walk("vectorized"))
+        walk_vec_seconds, _ = best_of(time_walk("numpy"))
 
         batched_pushes = int(batch.num_pushes.sum())
         report = {

@@ -213,18 +213,18 @@ class TestRunnerMemoization:
             seed=0,
         )
         batched = run_ncp_ensemble(
-            whiskered, DiffusionGrid(engine="batched", **base),
+            whiskered, DiffusionGrid(backend="numpy", **base),
             cache_dir=tmp_path,
         )
         assert batched.cache_hits == 0
         scalar = run_ncp_ensemble(
-            whiskered, DiffusionGrid(engine="scalar", **base),
+            whiskered, DiffusionGrid(backend="scalar", **base),
             cache_dir=tmp_path,
         )
         assert scalar.cache_hits == 0
         # Each engine's entries serve its own repeat runs.
         again = run_ncp_ensemble(
-            whiskered, DiffusionGrid(engine="scalar", **base),
+            whiskered, DiffusionGrid(backend="scalar", **base),
             cache_dir=tmp_path,
         )
         assert again.cache_hits == again.num_chunks
@@ -246,10 +246,10 @@ class TestMultiDynamicsEnsembles:
             num_seeds=6, seed=0,
         )
         scalar = cluster_ensemble_ncp(
-            whiskered, DiffusionGrid(engine="scalar", **base)
+            whiskered, DiffusionGrid(backend="scalar", **base)
         )
         batched = cluster_ensemble_ncp(
-            whiskered, DiffusionGrid(engine="batched", **base)
+            whiskered, DiffusionGrid(backend="numpy", **base)
         )
         assert len(batched) > 0
         assert all(c.method == "hk" for c in batched)
@@ -267,7 +267,7 @@ class TestMultiDynamicsEnsembles:
 
     def test_grid_rejects_unknown_engine(self):
         with pytest.raises(InvalidParameterError):
-            DiffusionGrid(HeatKernel(), engine="gpu")
+            DiffusionGrid(HeatKernel(), backend="gpu")
 
     def test_walk_ensemble_produces_walk_candidates(self, whiskered):
         candidates = cluster_ensemble_ncp(

@@ -484,9 +484,9 @@ class TestMultiDynamicsInvariants:
 
     @given(connected_graphs(), st.sampled_from([1e-2, 1e-3, 1e-4]),
            st.floats(0.3, 0.7), st.integers(0, 12),
-           st.sampled_from(["vectorized", "scalar"]))
+           st.sampled_from(["numpy", "scalar"]))
     def test_truncated_walk_mass_conservation(self, graph, epsilon, alpha,
-                                              num_steps, implementation):
+                                              num_steps, backend):
         # Every unit of seed mass is either still in the charge vector or
         # was explicitly dropped by rounding: final + dropped ≈ 1.
         from repro.diffusion.seeds import indicator_seed
@@ -495,7 +495,7 @@ class TestMultiDynamicsInvariants:
         s = indicator_seed(graph, [0])
         result = truncated_lazy_walk(
             graph, s, num_steps, epsilon=epsilon, alpha=alpha,
-            keep_trajectory=False, implementation=implementation,
+            keep_trajectory=False, backend=backend,
         )
         assert result.final.sum() + result.dropped_mass == pytest.approx(
             1.0, abs=1e-9
@@ -513,11 +513,11 @@ class TestMultiDynamicsInvariants:
         s = indicator_seed(graph, [0])
         scalar = truncated_lazy_walk(
             graph, s, num_steps, epsilon=epsilon, alpha=alpha,
-            implementation="scalar",
+            backend="scalar",
         )
         fast = truncated_lazy_walk(
             graph, s, num_steps, epsilon=epsilon, alpha=alpha,
-            implementation="vectorized",
+            backend="numpy",
         )
         assert np.allclose(scalar.final, fast.final, atol=1e-12)
         assert scalar.support_sizes == fast.support_sizes

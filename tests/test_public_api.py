@@ -32,6 +32,7 @@ from repro.refine import (
 PACKAGES = [
     "repro",
     "repro.api",
+    "repro.backends",
     "repro.cli",
     "repro.core",
     "repro.datasets",
@@ -135,11 +136,50 @@ def test_every_registered_dynamics_yields_columns():
         spec = kind.default_spec()
         columns = list(
             spec.iter_columns(
-                graph, [0], epsilons=(1e-3,), engine="batched"
+                graph, [0], epsilons=(1e-3,), backend="numpy"
             )
         )
         assert len(columns) == spec.grid_size((1e-3,)), key
         assert all(column.shape == (graph.num_nodes,) for column in columns)
+
+
+def test_every_registered_backend_instantiates():
+    """CI satellite: the public-api-smoke job exercises every backend.
+
+    Each registry entry must resolve by key and by every alias, answer
+    ``available()``, describe itself, and drive a real diffusion-grid
+    drain plus a sweep scan end to end (falling back where needed —
+    the numba entry must work whether or not numba is importable).
+    """
+    import warnings
+
+    import numpy as np
+
+    from repro.backends import get_backend, registered_backends
+    from repro.partition.sweep import sweep_cut
+
+    graph = ring_of_cliques(4, 5)
+    backends = registered_backends()
+    assert set(backends) >= {"numpy", "scalar", "numba"}
+    for key, backend in backends.items():
+        assert get_backend(key) is backend, key
+        for alias in backend.aliases:
+            assert get_backend(alias) is backend, (key, alias)
+        assert backend.description.strip(), key
+        assert backend.available() in (True, False), key
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            columns = list(backend.ppr_grid(
+                graph, [0], alphas=(0.1,), epsilons=(1e-3,)
+            ))
+            assert len(columns) == 1 and columns[0].shape == (
+                graph.num_nodes,
+            ), key
+
+            scores = np.arange(graph.num_nodes, 0, -1, dtype=float)
+            cut = sweep_cut(graph, scores, backend=key)
+            assert 0.0 <= cut.conductance <= 1.0, key
 
 
 def test_every_registered_refiner_instantiates():
@@ -186,3 +226,6 @@ def test_facade_and_subpackage_exports_agree():
     assert api.get_refiner("mqi") is repro.get_refiner("mqi")
     assert api.MQI is repro.MQI
     assert api.Pipeline is repro.Pipeline
+    assert api.get_backend("numpy") is repro.get_backend("numpy")
+    assert api.EngineBackend is repro.EngineBackend
+    assert api.registered_backends() == repro.registered_backends()

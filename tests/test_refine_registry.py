@@ -488,7 +488,7 @@ class TestDilateVectorized:
         for start in ([0], [40, 41], list(range(10))):
             fast = dilate(whiskered, start, radius)
             slow = dilate(
-                whiskered, start, radius, implementation="scalar"
+                whiskered, start, radius, backend="scalar"
             )
             assert np.array_equal(fast, slow)
 
@@ -500,12 +500,12 @@ class TestDilateVectorized:
             for radius in (1, 2, 3):
                 assert np.array_equal(
                     dilate(graph, start, radius),
-                    dilate(graph, start, radius, implementation="scalar"),
+                    dilate(graph, start, radius, backend="scalar"),
                 )
 
     def test_unknown_implementation_rejected(self, ring):
         with pytest.raises(InvalidParameterError):
-            dilate(ring, [0], 1, implementation="gpu")
+            dilate(ring, [0], 1, backend="gpu")
 
 
 class TestMOVAndCertificateCoverage:
