@@ -1,0 +1,193 @@
+"""The lint engine: file walking, rule selection, and report assembly.
+
+:func:`lint_paths` is the library entry point behind ``repro lint``: it
+expands files/directories into a deterministic ``.py`` file list, parses
+each file once, runs the selected rules through the shared visitor
+harness (:mod:`repro.analysis.visitor`), and returns a
+:class:`LintReport`.  Syntax errors surface as findings under the
+reserved ``syntax-error`` pseudo-rule (code ``E000``) instead of
+aborting the run, so one broken file cannot hide the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import LintFinding, apply_baseline
+from repro.analysis.registry import registered_rules, resolve_rule_name
+from repro.analysis.visitor import ModuleContext, run_rules
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+]
+
+# Directory names never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+# Pseudo-rule identifying unparseable files in reports and baselines.
+_SYNTAX_RULE = "syntax-error"
+_SYNTAX_CODE = "E000"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes
+    ----------
+    findings:
+        New findings (after baseline subtraction), sorted by location.
+    baselined:
+        Findings forgiven by the baseline this run.
+    stale_baseline:
+        ``path::rule`` keys whose baseline allowance exceeded what the
+        tree still produces — the signal the baseline should shrink.
+    files_checked:
+        Number of python files parsed.
+    rules:
+        Canonical keys of the rules that ran.
+    """
+
+    findings: tuple
+    files_checked: int
+    rules: tuple
+    baselined: tuple = ()
+    stale_baseline: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        """True when the run produced no (non-baselined) findings."""
+        return not self.findings
+
+    def all_findings(self):
+        """New and baselined findings together (for --write-baseline)."""
+        return tuple(sorted(self.findings + self.baselined))
+
+
+def select_rules(select=None, ignore=None):
+    """Resolve ``--select``/``--ignore`` name lists to LintRule objects.
+
+    Both accept iterables of names/codes/aliases (or one comma-separated
+    string).  Unknown names raise
+    :class:`~repro.analysis.registry.UnknownRuleError` with a
+    did-you-mean suggestion.  Returns rules in registration order.
+    """
+    registry = registered_rules()
+
+    def _resolve_list(value, option):
+        if value is None:
+            return None
+        if isinstance(value, str):
+            value = value.split(",")
+        names = [token for token in (str(v).strip() for v in value) if token]
+        if not names:
+            raise InvalidParameterError(
+                f"{option} needs at least one rule name; registered rules "
+                f"are {sorted(registry)}"
+            )
+        return {resolve_rule_name(name) for name in names}
+
+    selected = _resolve_list(select, "--select")
+    ignored = _resolve_list(ignore, "--ignore") or set()
+    keys = [
+        key for key in registry
+        if (selected is None or key in selected) and key not in ignored
+    ]
+    if not keys:
+        raise InvalidParameterError(
+            "the --select/--ignore combination leaves no lint rules to run"
+        )
+    return tuple(registry[key] for key in keys)
+
+
+def iter_python_files(paths, *, exclude=()):
+    """Expand files/directories into a sorted, deduplicated ``.py`` list.
+
+    ``exclude`` holds glob patterns matched against each file's
+    posix-style path (both as given and repo-relative), e.g.
+    ``tests/fixtures/*``.  Missing paths raise
+    :class:`~repro.exceptions.InvalidParameterError`.
+    """
+    files = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(p in _SKIP_DIRS for p in candidate.parts):
+                    files.add(candidate)
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise InvalidParameterError(
+                f"lint path {str(path)!r} does not exist"
+            )
+
+    def _excluded(path):
+        posix = path.as_posix()
+        return any(
+            fnmatch.fnmatch(posix, pattern)
+            or fnmatch.fnmatch(posix, f"*/{pattern}")
+            for pattern in exclude
+        )
+
+    return sorted(
+        (path for path in files if not _excluded(path)),
+        key=lambda p: p.as_posix(),
+    )
+
+
+def lint_source(source, *, path="<string>", rules=None):
+    """Lint one source string; returns sorted findings (no baseline)."""
+    if rules is None:
+        rules = tuple(registered_rules().values())
+    try:
+        ctx = ModuleContext(path, source)
+    except SyntaxError as exc:
+        return [LintFinding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1 if exc.offset else 1,
+            code=_SYNTAX_CODE,
+            rule=_SYNTAX_RULE,
+            message=f"file does not parse: {exc.msg}",
+            severity="error",
+        )]
+    return run_rules(ctx, rules)
+
+
+def lint_paths(paths, *, select=None, ignore=None, exclude=(),
+               baseline=None):
+    """Lint files/directories; returns a :class:`LintReport`.
+
+    Parameters mirror the CLI: ``select``/``ignore`` are rule-name lists
+    (see :func:`select_rules`), ``exclude`` holds path glob patterns,
+    and ``baseline`` is a loaded ``path::rule -> count`` mapping whose
+    allowances are subtracted from the findings.
+    """
+    rules = select_rules(select, ignore)
+    findings = []
+    files = iter_python_files(paths, exclude=exclude)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, path=file_path.as_posix(), rules=rules)
+        )
+    findings = sorted(findings)
+    if baseline:
+        fresh, forgiven, stale = apply_baseline(findings, baseline)
+    else:
+        fresh, forgiven, stale = findings, [], {}
+    return LintReport(
+        findings=tuple(fresh),
+        baselined=tuple(forgiven),
+        stale_baseline=stale,
+        files_checked=len(files),
+        rules=tuple(rule.key for rule in rules),
+    )

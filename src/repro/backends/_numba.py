@@ -71,7 +71,10 @@ def _kernels():
     if _STATE["kernels"] is None:
         try:
             _STATE["kernels"] = _build_kernels(numba)
-        except Exception:
+        # Deliberate catch-all: any JIT build failure (version skew,
+        # broken cache dir, LLVM issues) must degrade to the numpy tier
+        # with the one-per-process RuntimeWarning, never crash.
+        except Exception:  # repro-lint: disable=exception-policy
             _STATE["module"] = None
             return None
     return _STATE["kernels"]

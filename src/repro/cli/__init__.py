@@ -11,7 +11,10 @@ into a reproducible one-liner:
 * ``repro cluster`` — seeded strongly local clustering with any
   single-point dynamics spec (``--dynamics ppr:alpha=0.1,eps=1e-4``);
 * ``repro bench`` — the registry-driven engine benchmark (E12b),
-  writing ``BENCH_engine.json``.
+  writing ``BENCH_engine.json``;
+* ``repro lint`` — the AST-based invariant checker
+  (:mod:`repro.analysis`): registry dispatch, determinism, cache
+  versioning, exception/shim policy, @njit purity.
 
 Every run that produces files also writes a JSON **run manifest**
 (:mod:`repro.cli.manifest`) next to them — resolved spec, graph
@@ -29,7 +32,13 @@ import argparse
 import os
 import sys
 
-from repro.cli import bench_cmd, cluster_cmd, datasets_cmd, ncp_cmd
+from repro.cli import (
+    bench_cmd,
+    cluster_cmd,
+    datasets_cmd,
+    lint_cmd,
+    ncp_cmd,
+)
 from repro.exceptions import ReproError
 
 __all__ = ["build_parser", "main"]
@@ -49,11 +58,12 @@ _EPILOG = (
     "  python -m repro cluster --graph barbell --seeds 0 "
     "--dynamics ppr:alpha=0.1,eps=1e-4\n"
     "  python -m repro bench --graph atp --out runs/bench\n"
+    "  python -m repro lint src/ --format github\n"
 )
 
 # The subcommand modules, in help-listing order.  Each exposes
 # configure_parser(subparsers) -> parser and a run(args) -> int handler.
-_COMMAND_MODULES = (datasets_cmd, ncp_cmd, cluster_cmd, bench_cmd)
+_COMMAND_MODULES = (datasets_cmd, ncp_cmd, cluster_cmd, bench_cmd, lint_cmd)
 
 
 def _version_string():

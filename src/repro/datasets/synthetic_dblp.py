@@ -24,7 +24,26 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import check_int
+from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import community_bipartite_graph, project_left
+
+
+class UnknownScaleError(InvalidParameterError, KeyError):
+    """Raised for a dataset scale name that is not in ``_SCALES``.
+
+    Dual-inheritance like the registry errors: historically this path
+    raised ``KeyError``, and parameter validation raises ``ValueError``
+    (via :class:`~repro.exceptions.InvalidParameterError`) — callers
+    catching either style keep working.
+    """
+
+    __str__ = Exception.__str__
+
+
+def _unknown_scale(scale):
+    return UnknownScaleError(
+        f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
+    )
 
 
 @dataclass
@@ -135,9 +154,7 @@ def synthetic_atp_dblp(scale="small", seed=0, *, whisker_chains=0,
     AtPDataset
     """
     if scale not in _SCALES:
-        raise KeyError(
-            f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
-        )
+        raise _unknown_scale(scale)
     num_authors, num_papers, num_communities = _SCALES[scale]
     num_authors = check_int(
         overrides.pop("num_authors", num_authors), "num_authors", minimum=2
@@ -172,9 +189,7 @@ def synthetic_coauthorship(scale="small", seed=0, **overrides):
     Returns ``(graph, original_author_ids)``.
     """
     if scale not in _SCALES:
-        raise KeyError(
-            f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
-        )
+        raise _unknown_scale(scale)
     num_authors, num_papers, num_communities = _SCALES[scale]
     num_authors = overrides.pop("num_authors", num_authors)
     num_papers = overrides.pop("num_papers", num_papers)

@@ -452,7 +452,8 @@ def batch_hk_push(graph, seeds, *, ts=(5.0,), epsilons=(1e-4,),
 
     if num_terms is None:
         terms_by_t = {
-            float(t): terms_for_tail(float(t), tail_tol) for t in set(ts)
+            float(t): terms_for_tail(float(t), tail_tol)
+            for t in sorted(set(ts))
         }
         terms_t = np.asarray(
             [terms_by_t[float(t)] for t in ts], dtype=np.int64

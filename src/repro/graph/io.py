@@ -162,7 +162,10 @@ def _parse_chunk(path, chunk, first_line):
             table = np.loadtxt(
                 io.BytesIO(chunk), comments="#", dtype=np.float64, ndmin=2
             )
-    except Exception:
+    # Deliberate catch-all: whatever the C tokenizer chokes on, the
+    # slow path re-parses and either succeeds or raises GraphError with
+    # file:line context.
+    except Exception:  # repro-lint: disable=exception-policy
         return _parse_chunk_slow(path, chunk, first_line)
     if table.size == 0:
         return None

@@ -264,6 +264,7 @@ def spectral_candidates_for_seed_nodes(graph, seed_nodes, *, alphas,
                                        engine="batched"):
     """Deprecated shim: ACL-push shard via the generic dispatch."""
     spec = PPR(alpha=alphas)
+    backend = resolve_backend_name(engine)
     warn_deprecated(
         "spectral_candidates_for_seed_nodes",
         "grid_candidates_for_seed_nodes(graph, seed_nodes, PPR(...))",
@@ -271,7 +272,7 @@ def spectral_candidates_for_seed_nodes(graph, seed_nodes, *, alphas,
     return grid_candidates_for_seed_nodes(
         graph, seed_nodes, spec, epsilons=epsilons,
         max_cluster_size=max_cluster_size,
-        backend=resolve_backend_name(engine),
+        backend=backend,
     )
 
 
@@ -302,6 +303,7 @@ def hk_candidates_for_seed_nodes(graph, seed_nodes, *, ts, epsilons,
                                  max_cluster_size, engine="batched"):
     """Deprecated shim: heat-kernel shard via the generic dispatch."""
     spec = HeatKernel(t=ts)
+    backend = resolve_backend_name(engine)
     warn_deprecated(
         "hk_candidates_for_seed_nodes",
         "grid_candidates_for_seed_nodes(graph, seed_nodes, HeatKernel(...))",
@@ -309,7 +311,7 @@ def hk_candidates_for_seed_nodes(graph, seed_nodes, *, ts, epsilons,
     return grid_candidates_for_seed_nodes(
         graph, seed_nodes, spec, epsilons=epsilons,
         max_cluster_size=max_cluster_size,
-        backend=resolve_backend_name(engine),
+        backend=backend,
     )
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro._deprecation import warn_deprecated
 from repro._validation import check_int
-from repro.backends import resolve_backend_name
+from repro.backends import get_backend, resolve_backend_name
 from repro.diffusion._csr import gather_csr_arcs
 from repro.exceptions import InvalidParameterError, PartitionError
 from repro.partition.metrics import conductance
@@ -84,8 +84,8 @@ def dilate(graph, nodes, radius, *, backend=None, implementation=None):
         warn_deprecated(
             "dilate(implementation=...)", "dilate(backend=...)"
         )
-    key = resolve_backend_name("numpy" if backend is None else backend)
-    if key == "scalar":
+    resolved = get_backend("numpy" if backend is None else backend)
+    if resolved is get_backend("scalar"):
         return _dilate_scalar(graph, nodes, radius)
     seen = np.zeros(graph.num_nodes, dtype=bool)
     frontier = np.unique(np.atleast_1d(np.asarray(nodes, dtype=np.int64)))

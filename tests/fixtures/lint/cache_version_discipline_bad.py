@@ -1,0 +1,17 @@
+"""Known-bad fixture for the cache-version-discipline rule (R002)."""
+
+import hashlib
+
+import numpy as np
+
+
+def _chunk_cache_key(fingerprint, chunk):
+    # Composes a cache key without citing any _CACHE_VERSION constant.
+    digest = hashlib.sha256()
+    digest.update(f"{fingerprint}|{chunk}".encode())
+    return digest.hexdigest()
+
+
+def save_memo(path, arrays):
+    # Persists memo entries in a module with no _CACHE_VERSION at all.
+    np.savez_compressed(path, **arrays)

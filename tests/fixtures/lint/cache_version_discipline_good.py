@@ -1,0 +1,17 @@
+"""Known-good fixture for the cache-version-discipline rule (R002)."""
+
+import hashlib
+
+import numpy as np
+
+_CACHE_VERSION = 3
+
+
+def _chunk_cache_key(fingerprint, chunk):
+    digest = hashlib.sha256()
+    digest.update(f"v{_CACHE_VERSION}|{fingerprint}|{chunk}".encode())
+    return digest.hexdigest()
+
+
+def save_memo(path, arrays):
+    np.savez_compressed(path, **arrays)

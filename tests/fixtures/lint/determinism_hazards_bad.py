@@ -1,0 +1,16 @@
+"""Known-bad fixture for the determinism-hazards rule (R003)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample_seeds(graph, count):
+    jitter = random.random()                 # stdlib global RNG
+    picks = np.random.choice(graph, count)   # legacy numpy global RNG
+    stamp = time.time()                      # wall clock in results
+    members = list({3, 1, 2})                # unordered materialization
+    for node in set(picks):                  # unordered iteration
+        members.append(node)
+    return jitter, stamp, members

@@ -1,0 +1,16 @@
+"""Known-good fixture for the determinism-hazards rule (R003)."""
+
+import time
+
+import numpy as np
+
+
+def sample_seeds(graph, count, seed):
+    rng = np.random.default_rng(seed)        # explicit seeded Generator
+    picks = rng.choice(graph, count)
+    elapsed = time.perf_counter()            # timing is not a result
+    members = sorted({3, 1, 2})              # ordered materialization
+    for node in sorted(set(picks)):          # ordered iteration
+        members.append(node)
+    present = 3 in {1, 2, 3}                 # membership, not iteration
+    return picks, elapsed, members, present

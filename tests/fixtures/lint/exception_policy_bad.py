@@ -1,0 +1,20 @@
+"""Known-bad fixture for the exception-policy rule (R004)."""
+
+
+def load(path, table):
+    try:
+        return table[path]
+    except:                      # bare except
+        pass
+    try:
+        return float(path)
+    except Exception:            # broad catch that swallows
+        return None
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(f"unknown key {key!r}")        # builtin raise
+    if not table[key]:
+        raise ValueError(f"empty entry for {key!r}")  # builtin raise
+    return table[key]

@@ -1,0 +1,23 @@
+"""Known-good fixture for the exception-policy rule (R004)."""
+
+from repro.exceptions import InvalidParameterError
+
+
+class UnknownEntryError(InvalidParameterError, KeyError):
+    """Dual-inheritance registry-style error."""
+
+
+def load(path, table):
+    try:
+        return table[path]
+    except KeyError:             # narrow catch
+        return None
+    except Exception:            # broad, but re-raises after handling
+        table.clear()
+        raise
+
+
+def lookup(table, key):
+    if key not in table:
+        raise UnknownEntryError(f"unknown key {key!r}")
+    return table[key]

@@ -1,0 +1,11 @@
+"""Known-bad fixture for the no-stringly-dispatch rule (R001)."""
+
+_REGISTRY = {}
+
+
+def pick_kernel(backend, dynamics):
+    if backend == "numba":          # stringly backend dispatch
+        return "jit"
+    if dynamics in ("ppr", "hk"):   # stringly dynamics membership
+        return "diffusion"
+    return _REGISTRY["numpy"]       # private registry dict access

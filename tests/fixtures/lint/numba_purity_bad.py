@@ -1,0 +1,23 @@
+"""Known-bad fixture for the numba-purity rule (R006)."""
+
+import json
+
+import numpy as np
+
+
+def njit(function=None, **options):
+    """Stand-in decorator so the fixture parses without numba."""
+    return function if function is not None else njit
+
+
+@njit(cache=True)
+def push_kernel(indptr, indices, values, epsilon):
+    lookup = {0: "zero", 1: 1.0}            # mixed-type reflected dict
+    try:                                    # object-mode exception flow
+        total = np.sum(values)
+    except ValueError:
+        total = 0.0
+    if total < epsilon:
+        raise ValueError(f"tiny total {total}")   # f-string in kernel
+    json.dumps(lookup)                      # closure over a module
+    return total

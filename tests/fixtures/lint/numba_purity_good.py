@@ -1,0 +1,27 @@
+"""Known-good fixture for the numba-purity rule (R006)."""
+
+import json
+import math
+
+import numpy as np
+
+
+def njit(function=None, **options):
+    """Stand-in decorator so the fixture parses without numba."""
+    return function if function is not None else njit
+
+
+@njit(cache=True)
+def push_kernel(indptr, indices, values, epsilon):
+    total = 0.0
+    for k in range(indptr.shape[0] - 1):
+        total += values[k] * math.sqrt(indices[k] + 1.0)
+    if total < epsilon:
+        raise ValueError("total below epsilon")   # plain message is fine
+    return np.float64(total)
+
+
+def python_wrapper(indptr, indices, values, epsilon):
+    # Object-mode constructs live outside the kernel.
+    report = {"total": push_kernel(indptr, indices, values, epsilon)}
+    return json.dumps(report)

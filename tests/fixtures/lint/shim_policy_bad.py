@@ -1,0 +1,16 @@
+"""Known-bad fixture for the shim-policy rule (R005)."""
+
+import warnings
+
+
+def warn_deprecated(old, new):
+    # Direct DeprecationWarning without the "repro API deprecation"
+    # prefix: invisible to the suite's warning-to-error promotion.
+    warnings.warn(f"{old} is deprecated; use {new}", DeprecationWarning)
+
+
+def old_entry_point(graph, engine, resolve_backend_name):
+    # Warns before resolving: bad input emits the warning, then raises.
+    warn_deprecated("old_entry_point(engine=...)", "backend=...")
+    backend = resolve_backend_name(engine)
+    return graph, backend

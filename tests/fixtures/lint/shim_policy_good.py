@@ -1,0 +1,19 @@
+"""Known-good fixture for the shim-policy rule (R005)."""
+
+import warnings
+
+
+def warn_deprecated(old, new):
+    # The prefixed form the suite's filterwarnings promotion matches.
+    warnings.warn(
+        f"repro API deprecation: {old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def old_entry_point(graph, engine, resolve_backend_name):
+    # Resolve-then-warn: invalid input raises before any warning fires.
+    backend = resolve_backend_name(engine)
+    warn_deprecated("old_entry_point(engine=...)", "backend=...")
+    return graph, backend

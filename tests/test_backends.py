@@ -186,7 +186,9 @@ class TestBackendParityHarness:
         # PPR runs at eps=1e-4: the per-candidate divergence between
         # push schedules is bounded by eps*d, so the tighter truncation
         # keeps the bucketed profiles well inside the 0.05 tolerance.
-        epsilons = (1e-4,) if dynamics == "ppr" else (1e-3,)
+        # Branching on the parametrize value, not runtime dispatch.
+        is_ppr = dynamics == "ppr"  # repro-lint: disable=stringly
+        epsilons = (1e-4,) if is_ppr else (1e-3,)
         base = dict(epsilons=epsilons, num_seeds=4, seed=0)
         spec = PARITY_SPECS[dynamics]
         got = _quiet_ensemble(
@@ -197,9 +199,9 @@ class TestBackendParityHarness:
         )
         assert len(got) > 0
         # PPR candidates carry the historical "spectral" method label.
-        label = "spectral" if dynamics == "ppr" else dynamics
+        label = "spectral" if is_ppr else dynamics
         assert all(c.method == label for c in got)
-        if dynamics == "ppr":
+        if is_ppr:
             ours = best_per_size_bucket(got, num_buckets=6)
             theirs = best_per_size_bucket(reference, num_buckets=6)
             finite = np.isfinite(ours.best_conductance)

@@ -301,5 +301,5 @@ class TestParserHygiene:
     def test_subparser_registry_is_complete(self):
         parser = build_parser()
         assert set(parser.repro_subparsers) == {
-            "datasets", "ncp", "cluster", "bench"
+            "datasets", "ncp", "cluster", "bench", "lint"
         }

@@ -31,6 +31,7 @@ from repro.refine import (
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.api",
     "repro.backends",
     "repro.cli",
@@ -46,7 +47,7 @@ PACKAGES = [
     "repro.regularization",
 ]
 
-SUBCOMMANDS = ("datasets", "ncp", "cluster", "bench")
+SUBCOMMANDS = ("datasets", "ncp", "cluster", "bench", "lint")
 
 
 @pytest.mark.parametrize("package", PACKAGES)
@@ -212,6 +213,54 @@ def test_every_registered_refiner_instantiates():
         trace = apply_refiners(graph, list(range(5)), (spec,))
         assert trace.final_conductance <= trace.initial_conductance + 1e-9
         assert 0 < trace.nodes.size < graph.num_nodes, key
+
+
+def test_every_registered_lint_rule_instantiates(capsys):
+    """CI satellite: the public-api-smoke job exercises every lint rule.
+
+    Each registry entry must resolve by key, code, and every alias,
+    describe itself, run its visitor over a trivial module without
+    findings, appear in ``repro lint --list``, and the linter must exit
+    0 over the package source with the committed baseline.
+    """
+    from pathlib import Path
+
+    from repro.analysis import (
+        get_rule,
+        lint_paths,
+        lint_source,
+        load_baseline,
+        registered_rules,
+    )
+    from repro.cli import main
+
+    rules = registered_rules()
+    assert set(rules) >= {
+        "no-stringly-dispatch",
+        "cache-version-discipline",
+        "determinism-hazards",
+        "exception-policy",
+        "shim-policy",
+        "numba-purity",
+    }
+    for key, rule in rules.items():
+        assert get_rule(key) is rule, key
+        assert get_rule(rule.code) is rule, key
+        for alias in rule.aliases:
+            assert get_rule(alias) is rule, (key, alias)
+        assert rule.description.strip(), key
+        assert lint_source("VALUE = 1\n", rules=(rule,)) == [], key
+
+    assert main(["lint", "--list"]) == 0
+    listing = capsys.readouterr().out
+    for key, rule in rules.items():
+        assert key in listing and rule.code in listing, key
+
+    # The merged tree lints clean: `python -m repro lint src/` exits 0.
+    repo_root = Path(__file__).resolve().parents[1]
+    baseline = load_baseline(repo_root / "lint-baseline.json")
+    report = lint_paths([repo_root / "src"], baseline=baseline or None)
+    assert report.ok, [f.format_human() for f in report.findings]
 
 
 def test_facade_and_subpackage_exports_agree():
