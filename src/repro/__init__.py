@@ -21,6 +21,10 @@ Subpackages
 ``repro.backends``
     The kernel-backend registry: ``EngineBackend`` entries behind the
     canonical ``numpy`` / ``scalar`` / ``numba`` names, alias table.
+``repro.execution``
+    The executor registry: ``ExecutorKind`` entries behind the canonical
+    ``serial`` / ``process`` / ``chaos`` names, retry + straggler
+    re-dispatch driver, deterministic fault injection, resume support.
 ``repro.graph``
     CSR graph substrate, matrices, generators, I/O.
 ``repro.linalg``
@@ -52,6 +56,7 @@ True
 """
 
 from repro import backends, core, datasets, diffusion, dynamics, graph
+from repro import execution
 from repro import linalg, ncp, partition, refine, regularization
 from repro import api
 from repro import cli
@@ -80,6 +85,18 @@ from repro.dynamics import (
     UnknownDynamicsError,
     get_dynamics,
 )
+from repro.execution import (
+    Chaos,
+    ChunkExecutionError,
+    ExecutorKind,
+    FaultPlan,
+    RetryPolicy,
+    UnknownExecutorError,
+    get_executor,
+    register_executor,
+    registered_executors,
+    unregister_executor,
+)
 from repro.exceptions import (
     ConvergenceError,
     DisconnectedGraphError,
@@ -105,17 +122,21 @@ from repro.refine import (
     get_refiner,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchPushResult",
+    "Chaos",
+    "ChunkExecutionError",
     "ConvergenceError",
     "DiffusionGrid",
     "DisconnectedGraphError",
     "DynamicsKind",
     "EmptyGraphError",
     "EngineBackend",
+    "ExecutorKind",
     "ExperimentError",
+    "FaultPlan",
     "FlowError",
     "FlowImprove",
     "Graph",
@@ -129,8 +150,10 @@ __all__ = [
     "PartitionError",
     "Pipeline",
     "ReproError",
+    "RetryPolicy",
     "UnknownBackendError",
     "UnknownDynamicsError",
+    "UnknownExecutorError",
     "UnknownGraphError",
     "UnknownRefinerError",
     "__version__",
@@ -144,9 +167,11 @@ __all__ = [
     "datasets",
     "diffusion",
     "dynamics",
+    "execution",
     "from_edges",
     "get_backend",
     "get_dynamics",
+    "get_executor",
     "get_refiner",
     "graph",
     "linalg",
@@ -157,10 +182,13 @@ __all__ = [
     "ppr_push_frontier",
     "refine",
     "register_backend",
+    "register_executor",
     "registered_backends",
+    "registered_executors",
     "regularization",
     "resolve_backend_name",
     "run_ncp_ensemble",
     "unregister_backend",
+    "unregister_executor",
     "verify_paper_theorem",
 ]

@@ -25,6 +25,11 @@ past PRs established by hand:
 * **R006 numba-purity** — ``@njit`` kernels stay in nopython territory:
   no f-strings, dict/set literals, try blocks, or closures over modules
   other than ``np``/``math``.
+* **R007 executor-discipline** — process pools are an execution-layer
+  concern: ``ProcessPoolExecutor`` is constructed only inside
+  :mod:`repro.execution`; everything else goes through the executor
+  registry (``run_ncp_ensemble(executor=...)``) so retry, straggler
+  re-dispatch, and resume apply uniformly.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ __all__ = ["register_builtin_rules", "registry_vocabulary"]
 # dispatch (the left-hand sides PRs 3/5/7 cleaned up).
 _DISPATCH_NAMES = frozenset({
     "dynamics", "backend", "engine", "implementation", "refiner",
-    "kind", "method", "key",
+    "kind", "method", "key", "executor",
 })
 
 # The registry modules themselves (and this package) legitimately handle
@@ -49,6 +54,7 @@ _REGISTRY_MODULES = (
     "repro/dynamics.py",
     "repro/refine.py",
     "repro/backends/__init__.py",
+    "repro/execution/",
     "repro/analysis/",
 )
 
@@ -56,23 +62,25 @@ _VOCABULARY_CACHE = []
 
 
 def registry_vocabulary():
-    """Every canonical name and alias across the three live registries.
+    """Every canonical name and alias across the four live registries.
 
     Computed from :func:`repro.dynamics.registered_dynamics`,
-    :func:`repro.backends.registered_backends`, and
-    :func:`repro.refine.registered_refiners` (imported lazily, cached per
-    process), so the no-stringly-dispatch rule tracks the registries
-    instead of carrying its own drifting word list.
+    :func:`repro.backends.registered_backends`,
+    :func:`repro.refine.registered_refiners`, and
+    :func:`repro.execution.registered_executors` (imported lazily,
+    cached per process), so the no-stringly-dispatch rule tracks the
+    registries instead of carrying its own drifting word list.
     """
     if not _VOCABULARY_CACHE:
         from repro.backends import registered_backends
         from repro.dynamics import registered_dynamics
+        from repro.execution import registered_executors
         from repro.refine import registered_refiners
 
         vocabulary = set()
         for registry in (
             registered_dynamics(), registered_backends(),
-            registered_refiners(),
+            registered_refiners(), registered_executors(),
         ):
             for key, entry in registry.items():
                 vocabulary.add(key)
@@ -462,6 +470,23 @@ class NumbaPurityVisitor(RuleVisitor):
                 ))
 
 
+class ExecutorDisciplineVisitor(RuleVisitor):
+    """R007: ``ProcessPoolExecutor`` is built only in ``repro.execution``."""
+
+    def visit_Call(self, node):
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if dotted.split(".")[-1] == "ProcessPoolExecutor":
+            self.add(node, (
+                "direct ProcessPoolExecutor construction: pools live in "
+                "the execution layer so retry, straggler re-dispatch, "
+                "and resume apply; go through the executor registry "
+                "(run_ncp_ensemble(executor=...) or "
+                "repro.execution.build_executor)"
+            ))
+
+
 def register_builtin_rules():
     """Register the built-in rule set (idempotent per fresh registry)."""
     register_rule(LintRule(
@@ -527,4 +552,16 @@ def register_builtin_rules():
         ),
         aliases=("numba",),
         visitor=NumbaPurityVisitor,
+    ))
+    register_rule(LintRule(
+        key="executor-discipline",
+        code="R007",
+        description=(
+            "ProcessPoolExecutor is constructed only inside "
+            "repro.execution; all other code selects strategies through "
+            "the executor registry"
+        ),
+        aliases=("executors",),
+        visitor=ExecutorDisciplineVisitor,
+        exempt=("repro/execution/",),
     ))

@@ -16,6 +16,13 @@ vocabulary:
   (:func:`get_backend`, :func:`register_backend`,
   :func:`registered_backends`): the ``numpy`` / ``scalar`` / ``numba``
   inner-loop families behind every ``backend=`` keyword.
+* **Executors** — :class:`ExecutorKind` and its registry
+  (:func:`get_executor`, :func:`register_executor`,
+  :func:`registered_executors`): the ``serial`` / ``process`` /
+  ``chaos`` execution strategies behind every ``executor=`` keyword,
+  plus :class:`RetryPolicy` for the retry / straggler-re-dispatch
+  driver and :class:`Chaos` / :class:`FaultPlan` for deterministic
+  fault injection.
 * **NCP ensembles** — :func:`cluster_ensemble_ncp` (any grid, in-process),
   :func:`run_ncp_ensemble` (sharded / pooled / memoized),
   :func:`flow_cluster_ensemble_ncp`, :func:`best_per_size_bucket`,
@@ -105,15 +112,31 @@ from repro.ncp.profile import (
     cluster_ensemble_ncp,
     flow_cluster_ensemble_ncp,
 )
+from repro.execution import (
+    Chaos,
+    ChunkExecutionError,
+    ExecutorKind,
+    FaultPlan,
+    RetryPolicy,
+    UnknownExecutorError,
+    get_executor,
+    register_executor,
+    registered_executors,
+    unregister_executor,
+)
 from repro.ncp.runner import NCPRunResult, run_ncp_ensemble
 from repro.partition.local import LocalClusterResult, local_cluster
 
 __all__ = [
     "ApproximateComputation",
+    "Chaos",
+    "ChunkExecutionError",
     "ClusterCandidate",
     "DiffusionGrid",
     "DynamicsKind",
     "EngineBackend",
+    "ExecutorKind",
+    "FaultPlan",
     "Figure1Result",
     "FlowImprove",
     "HeatKernel",
@@ -128,8 +151,10 @@ __all__ = [
     "RefinementStep",
     "RefinementTrace",
     "RefinerKind",
+    "RetryPolicy",
     "UnknownBackendError",
     "UnknownDynamicsError",
+    "UnknownExecutorError",
     "UnknownGraphError",
     "UnknownRefinerError",
     "apply_refiners",
@@ -144,6 +169,7 @@ __all__ = [
     "flow_cluster_ensemble_ncp",
     "get_backend",
     "get_dynamics",
+    "get_executor",
     "get_refiner",
     "load_any_graph",
     "load_graph",
@@ -151,9 +177,11 @@ __all__ = [
     "refine_candidates",
     "register_backend",
     "register_dynamics",
+    "register_executor",
     "register_refiner",
     "registered_backends",
     "registered_dynamics",
+    "registered_executors",
     "registered_refiners",
     "resolve_backend_name",
     "run_multidynamics_ncp",
@@ -161,6 +189,7 @@ __all__ = [
     "suite_names",
     "unregister_backend",
     "unregister_dynamics",
+    "unregister_executor",
     "unregister_refiner",
     "verify_paper_theorem",
 ]

@@ -17,7 +17,11 @@ the result byte for byte:
 
 ``repro ncp``'s manifest embeds one
 :meth:`~repro.ncp.runner.NCPRunResult.manifest` record per dynamics, so
-the exact seed nodes and chunking of each ensemble are on disk too.
+the exact seed nodes, chunking, executor, and per-chunk completion of
+each ensemble are on disk too.  ``ncp`` also writes the manifest twice:
+once with ``"status": "started"`` before the first chunk runs and again
+with ``"status": "complete"`` at the end — the started copy is what
+``repro ncp --resume`` rebuilds an interrupted run from.
 """
 
 from __future__ import annotations

@@ -12,6 +12,16 @@ writing three artifacts into ``--out``:
   dynamics (also printed).
 * ``manifest.json`` — the run manifest; replaying its ``replay_argv``
   (with any worker count) reproduces ``candidates.csv`` byte for byte.
+
+The manifest doubles as the resume record: it is written with
+``"status": "started"`` before the first chunk runs and rewritten as
+``"status": "complete"`` at the end, so ``repro ncp --resume <dir>``
+after a crash rebuilds the exact workload from ``arguments``, probes the
+chunk memo (``--cache-dir``), and executes only the missing chunks.
+``--executor`` selects the execution strategy by registry name
+(``serial`` / ``process`` / ``chaos:seed=3,kills=2``, see
+:mod:`repro.execution`); the candidate bytes are identical under every
+strategy.
 """
 
 from __future__ import annotations
@@ -27,9 +37,14 @@ from repro.cli._common import (
     resolve_graph,
 )
 from repro.backends import resolve_backend_name
-from repro.cli.specs import parse_dynamics_list, parse_refiner_chain
+from repro.cli.specs import (
+    parse_dynamics_list,
+    parse_executor_spec,
+    parse_refiner_chain,
+)
 from repro.core.reporting import format_table
 from repro.exceptions import InvalidParameterError, PartitionError
+from repro.execution import get_executor
 from repro.ncp.profile import best_per_size_bucket
 from repro.ncp.runner import run_ncp_ensemble
 from repro.refine import Pipeline
@@ -51,7 +66,18 @@ def configure_parser(subparsers):
             "is byte-identical for any --workers value."
         ),
     )
-    add_graph_arguments(parser)
+    add_graph_arguments(parser, required=False)
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="resume an interrupted run from its manifest.json (or the "
+             "directory holding it): the workload is rebuilt from the "
+             "manifest's arguments and only chunks missing from the "
+             "chunk memo are recomputed (mutually exclusive with "
+             "--graph; --workers/--executor/--out come from this "
+             "command line)",
+    )
     parser.add_argument(
         "--dynamics",
         default="ppr",
@@ -117,6 +143,16 @@ def configure_parser(subparsers):
         metavar="W",
         help="worker processes for chunk evaluation; 0 = in-process "
              "serial (default: 0). The ensemble is identical either way.",
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        metavar="SPEC",
+        help="execution strategy: any registered repro.execution name "
+             "or alias, optionally parameterized ('serial', 'process', "
+             "'chaos:seed=3,kills=2'); default: process when --workers "
+             ">= 1, serial otherwise. The ensemble is identical under "
+             "every strategy.",
     )
     parser.add_argument(
         "--seeds-per-chunk",
@@ -189,7 +225,7 @@ def _profile_text(run_result, num_buckets):
     )
 
 
-def _replay_argv(args, backend):
+def _replay_argv(args, backend, executor_kind=None, executor_spec=None):
     argv = [
         "ncp",
         "--graph", args.graph,
@@ -207,12 +243,65 @@ def _replay_argv(args, backend):
         argv += ["--epsilons", args.epsilons]
     if args.max_cluster_size is not None:
         argv += ["--max-cluster-size", str(args.max_cluster_size)]
+    # Executors never change the candidate bytes, so the replay only pins
+    # one when it was requested explicitly AND the registry marks it
+    # replayable (chaos is not: its faults are execution facts, and an
+    # abort_after fault would crash the replay).
+    if executor_kind is not None and executor_kind.replayable:
+        argv += ["--executor", executor_spec.token()]
     return argv
+
+
+def _apply_resume_arguments(args, arguments):
+    """Rebuild the workload half of ``args`` from a manifest record.
+
+    Everything that determines the candidate bytes comes from the
+    manifest; execution facts (``--workers``, ``--executor``, ``--out``)
+    stay with the resuming command line, and ``--cache-dir`` falls back
+    to the original run's memo directory so completed chunks are found.
+    """
+    args.graph = arguments["graph"]
+    args.graph_seed = int(arguments.get("graph_seed", 0))
+    args.dynamics = arguments["dynamics"]
+    args.refine = arguments.get("refine")
+    args.num_seeds = int(arguments["num_seeds"])
+    args.seed = int(arguments["seed"])
+    epsilons = arguments.get("epsilons")
+    args.epsilons = (
+        None if epsilons is None
+        # repr round-trips floats exactly, so the resumed grid matches.
+        else ",".join(repr(float(e)) for e in epsilons)
+    )
+    max_size = arguments.get("max_cluster_size")
+    args.max_cluster_size = None if max_size is None else int(max_size)
+    args.backend = arguments.get("backend")
+    args.engine = None
+    args.seeds_per_chunk = int(arguments["seeds_per_chunk"])
+    args.buckets = int(arguments["buckets"])
+    if args.cache_dir is None:
+        args.cache_dir = arguments.get("cache_dir")
 
 
 def run(args):
     """Execute ``repro ncp`` (see :func:`configure_parser`)."""
     watch = Stopwatch()
+    if args.resume is not None:
+        if args.graph is not None:
+            raise InvalidParameterError(
+                "pass --graph or --resume, not both: a resumed run takes "
+                "its workload from the manifest"
+            )
+        resumed = manifest_mod.load_manifest(args.resume)
+        if resumed["command"] != "ncp":
+            raise InvalidParameterError(
+                f"--resume: manifest records a {resumed['command']!r} "
+                "run, not an ncp run"
+            )
+        _apply_resume_arguments(args, resumed["arguments"])
+    elif args.graph is None:
+        raise InvalidParameterError(
+            "one of --graph or --resume is required"
+        )
     graph, record = resolve_graph(args)
     backend = args.backend
     if args.engine is not None:
@@ -232,7 +321,47 @@ def run(args):
         parse_float_list(args.epsilons, name="--epsilons")
         if args.epsilons is not None else None
     )
+    executor_spec = (
+        parse_executor_spec(args.executor)
+        if args.executor is not None else None
+    )
+    executor_kind = (
+        get_executor(executor_spec) if executor_spec is not None else None
+    )
     out = ensure_out_dir(args.out)
+
+    arguments = {
+        "graph": args.graph,
+        "graph_seed": args.graph_seed,
+        "dynamics": args.dynamics,
+        "refine": args.refine,
+        "num_seeds": args.num_seeds,
+        "seed": args.seed,
+        "epsilons": shared_epsilons,
+        "max_cluster_size": args.max_cluster_size,
+        "backend": backend,
+        "workers": args.workers,
+        "executor": (
+            executor_spec.token() if executor_spec is not None else None
+        ),
+        "seeds_per_chunk": args.seeds_per_chunk,
+        "cache_dir": args.cache_dir,
+        "buckets": args.buckets,
+    }
+    replay_argv = _replay_argv(args, backend, executor_kind, executor_spec)
+    # The started manifest is the resume record: written before the first
+    # chunk runs, so a crashed run leaves behind everything --resume
+    # needs to rebuild the workload and probe the chunk memo.
+    manifest_mod.write_manifest(out, manifest_mod.build_manifest(
+        "ncp",
+        arguments=arguments,
+        replay_argv=replay_argv,
+        graph=record,
+        outputs=[],
+        wall_seconds=watch.elapsed(),
+        status="started",
+        runs=[],
+    ))
 
     chain_note = (
         " refine=" + ">".join(spec.token() for spec in refiners)
@@ -260,6 +389,7 @@ def run(args):
             num_workers=args.workers,
             seeds_per_chunk=args.seeds_per_chunk,
             cache_dir=args.cache_dir,
+            executor=executor_spec,
         ))
 
     candidates_path = out / CANDIDATES_NAME
@@ -276,25 +406,12 @@ def run(args):
 
     built = manifest_mod.build_manifest(
         "ncp",
-        arguments={
-            "graph": args.graph,
-            "graph_seed": args.graph_seed,
-            "dynamics": args.dynamics,
-            "refine": args.refine,
-            "num_seeds": args.num_seeds,
-            "seed": args.seed,
-            "epsilons": shared_epsilons,
-            "max_cluster_size": args.max_cluster_size,
-            "backend": backend,
-            "workers": args.workers,
-            "seeds_per_chunk": args.seeds_per_chunk,
-            "cache_dir": args.cache_dir,
-            "buckets": args.buckets,
-        },
-        replay_argv=_replay_argv(args, backend),
+        arguments=arguments,
+        replay_argv=replay_argv,
         graph=record,
         outputs=[CANDIDATES_NAME, PROFILE_NAME],
         wall_seconds=watch.elapsed(),
+        status="complete",
         runs=[r.manifest() for r in runs],
     )
     manifest_path = manifest_mod.write_manifest(out, built)

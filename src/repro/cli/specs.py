@@ -32,12 +32,14 @@ from dataclasses import dataclass
 
 from repro.dynamics import DiffusionGrid, get_dynamics
 from repro.exceptions import InvalidParameterError
+from repro.execution import get_executor
 from repro.refine import get_refiner
 
 __all__ = [
     "DynamicsRequest",
     "parse_dynamics_list",
     "parse_dynamics_spec",
+    "parse_executor_spec",
     "parse_refiner_chain",
 ]
 
@@ -209,6 +211,44 @@ def parse_dynamics_spec(text):
             f"{[r.key for r in requests]} from {text!r}"
         )
     return requests[0]
+
+
+def parse_executor_spec(text):
+    """Parse a ``--executor`` value into a frozen executor spec.
+
+    One spec in the shared ``--dynamics`` grammar, resolved through the
+    executor registry (:mod:`repro.execution`): ``"serial"`` /
+    ``"process"`` select those strategies with their defaults, and
+    ``"chaos:seed=3,kills=2,abort_after=4"`` parameterizes the fault
+    injector — valid keys are exactly the registered spec dataclass's
+    fields.  Unknown names fail with the registry's did-you-mean error.
+    """
+    groups = _group_spec_tokens(text, option="--executor", kind="executor")
+    if len(groups) != 1:
+        raise InvalidParameterError(
+            f"--executor: expected exactly one executor, got "
+            f"{[group[0] for group in groups]} from {text!r}"
+        )
+    name, pairs, raw_tokens = groups[0]
+    raw = ",".join(raw_tokens)
+    kind = get_executor(name)  # UnknownExecutorError lists names + aliases
+    if kind.spec_type is None:
+        raise InvalidParameterError(
+            f"--executor {raw!r}: executor {kind.key!r} declares no spec "
+            "type, so it cannot be addressed from the command line"
+        )
+    fields = {f.name for f in dataclasses.fields(kind.spec_type)}
+    params = {}
+    for key, value in pairs:
+        key = key.strip().lower()
+        context = f"--executor {raw!r}: {key}"
+        if key not in fields:
+            raise InvalidParameterError(
+                f"--executor {raw!r}: unknown parameter {key!r} for "
+                f"{kind.key!r}; expected one of {sorted(fields)}"
+            )
+        params[key] = _parse_value(value, context=context)
+    return kind.spec_type(**params)
 
 
 def _build_refiner(name, pairs, raw):

@@ -33,6 +33,15 @@ New dynamics plug in by registering a spec type and a
 :class:`DynamicsKind` — no changes to the runner, the profile layer, or
 the benchmarks are needed (see ``tests/test_dynamics_registry.py`` for a
 worked example).
+
+This is the pattern's original instance; its siblings are
+:class:`~repro.refine.RefinerKind` (refiners),
+:class:`~repro.backends.EngineBackend` (kernel backends),
+:class:`~repro.analysis.LintRule` (lint rules), and
+:class:`~repro.execution.ExecutorKind` (ensemble execution strategies).
+A :class:`DiffusionGrid` workload says *what* to diffuse; the executor
+registry decides *how* its chunks run, and the candidate bytes never
+depend on that choice.
 """
 
 from __future__ import annotations

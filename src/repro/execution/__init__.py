@@ -1,0 +1,147 @@
+"""Resumable, fault-tolerant ensemble execution.
+
+The execution layer extracted from the NCP runner (ROADMAP item 4): the
+*what* of a run — the deterministic, fingerprint-keyed chunk plan —
+stays in :mod:`repro.ncp.runner`, while the *how* lives here behind the
+fifth registry:
+
+* **Registry** — :class:`ExecutorKind` entries under the canonical
+  ``serial`` / ``process`` / ``chaos`` names (alias table, did-you-mean
+  :class:`UnknownExecutorError`), each binding a frozen spec type to a
+  factory for the live :class:`ChunkExecutor` strategy.
+* **Driver** — :func:`execute_chunks`: per-chunk retry with bounded
+  backoff (:class:`RetryPolicy`), straggler re-dispatch with
+  first-result-wins, incremental per-chunk result delivery (the hook
+  crash-then-resume rides on), and typed failures
+  (:class:`ChunkExecutionError` instead of a raw ``BrokenProcessPool``).
+* **Fault injection** — the ``chaos`` executor executes a frozen,
+  seed-derived :class:`FaultPlan` (kill chunk k on attempt j, delay,
+  corrupt the memo entry, abort after K chunks), so every robustness
+  guarantee is exercised deterministically by the test suite and the CI
+  ``chaos-smoke`` job.
+
+Because chunk plans, merge order, and cache keys never depend on the
+strategy, every executor produces byte-identical candidates — the
+serial executor is the oracle the other two are tested against.
+"""
+
+from __future__ import annotations
+
+from repro.execution.driver import (
+    ExecutionOutcome,
+    RetryPolicy,
+    execute_chunks,
+    pending_chunks,
+)
+from repro.execution.errors import (
+    ChunkExecutionError,
+    ExecutionError,
+    InjectedFaultError,
+    RunAbortedError,
+)
+from repro.execution.executors import (
+    Chaos,
+    ChaosExecutor,
+    ChunkExecutor,
+    ProcessExecutor,
+    ProcessPool,
+    Serial,
+    SerialExecutor,
+)
+from repro.execution.faults import FAULT_KINDS, Fault, FaultPlan
+from repro.execution.registry import (
+    ExecutorKind,
+    UnknownExecutorError,
+    as_executor_spec,
+    build_executor,
+    get_executor,
+    register_executor,
+    registered_executors,
+    resolve_executor_name,
+    unregister_executor,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Chaos",
+    "ChaosExecutor",
+    "ChunkExecutionError",
+    "ChunkExecutor",
+    "ExecutionError",
+    "ExecutionOutcome",
+    "ExecutorKind",
+    "Fault",
+    "FaultPlan",
+    "InjectedFaultError",
+    "ProcessExecutor",
+    "ProcessPool",
+    "RetryPolicy",
+    "RunAbortedError",
+    "Serial",
+    "SerialExecutor",
+    "UnknownExecutorError",
+    "as_executor_spec",
+    "build_executor",
+    "execute_chunks",
+    "get_executor",
+    "pending_chunks",
+    "register_executor",
+    "registered_executors",
+    "resolve_executor_name",
+    "unregister_executor",
+]
+
+
+def _make_serial(spec, *, graph, evaluate, num_workers=0):
+    """Factory for the registered ``serial`` entry."""
+    return SerialExecutor(graph, evaluate)
+
+
+def _make_process(spec, *, graph, evaluate, num_workers=0):
+    """Factory for the registered ``process`` entry."""
+    return ProcessExecutor(graph, evaluate,
+                           num_workers=max(1, int(num_workers)))
+
+
+def _make_chaos(spec, *, graph, evaluate, num_workers=0):
+    """Factory for the registered ``chaos`` entry."""
+    return ChaosExecutor(graph, evaluate, spec=spec)
+
+
+def _register_builtin_executors():
+    register_executor(ExecutorKind(
+        key="serial",
+        description=(
+            "in-process, one chunk at a time: the reference strategy "
+            "every other executor must match byte for byte"
+        ),
+        aliases=("sync", "inline"),
+        spec_type=Serial,
+        factory=_make_serial,
+    ))
+    register_executor(ExecutorKind(
+        key="process",
+        description=(
+            "shared-memory process pool: the CSR arrays cross the "
+            "process boundary once, workers are recreated after a pool "
+            "death, and stragglers are re-dispatched first-result-wins"
+        ),
+        aliases=("pool", "multiprocessing"),
+        spec_type=ProcessPool,
+        factory=_make_process,
+    ))
+    register_executor(ExecutorKind(
+        key="chaos",
+        description=(
+            "deterministic fault injector over the serial strategy: "
+            "seed-derived kill/delay/corrupt faults plus whole-run "
+            "aborts, for testing the robustness layer by construction"
+        ),
+        aliases=("faults", "fault_injection"),
+        spec_type=Chaos,
+        factory=_make_chaos,
+        replayable=False,
+    ))
+
+
+_register_builtin_executors()

@@ -1,0 +1,84 @@
+"""Typed failure reporting for the execution layer.
+
+The pre-registry runner surfaced infrastructure failures raw: a worker
+death mid-run escaped as ``concurrent.futures.process.BrokenProcessPool``
+with no hint of *which* chunk was lost or *what graph* the run was
+scoped to.  These types carry that context:
+
+* :class:`ChunkExecutionError` — a chunk exhausted its retry budget;
+  names the chunk, the dynamics, the attempt count, the graph
+  fingerprint, and the formatted worker traceback.
+* :class:`InjectedFaultError` — a fault the chaos executor injected on
+  purpose (a simulated worker death); retryable by construction.
+* :class:`RunAbortedError` — the chaos executor killed the whole run
+  after K completed chunks (the crash half of crash-then-resume tests).
+
+All derive from :class:`ExecutionError`, itself a
+:class:`~repro.exceptions.ReproError`, so ``except ReproError`` keeps
+catching everything the library raises.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ChunkExecutionError",
+    "ExecutionError",
+    "InjectedFaultError",
+    "RunAbortedError",
+]
+
+
+class ExecutionError(ReproError):
+    """Base class for failures raised by the chunk-execution layer."""
+
+
+class ChunkExecutionError(ExecutionError):
+    """A chunk failed on every allowed attempt.
+
+    Attributes
+    ----------
+    chunk_index:
+        Index of the failed :class:`~repro.ncp.runner.GridChunk` in the
+        deterministic merge order.
+    dynamics:
+        Canonical dynamics name the chunk was evaluating.
+    attempts:
+        Number of attempts consumed (== the policy's ``max_attempts``).
+    fingerprint:
+        :func:`~repro.ncp.runner.graph_fingerprint` of the graph the run
+        was scoped to (empty when the caller did not provide one).
+    worker_traceback:
+        Formatted traceback of the last failure, including the remote
+        (in-worker) traceback when the chunk died in a process pool.
+    """
+
+    def __init__(self, message, *, chunk_index=None, dynamics="",
+                 attempts=0, fingerprint="", worker_traceback=""):
+        super().__init__(message)
+        self.chunk_index = chunk_index
+        self.dynamics = str(dynamics)
+        self.attempts = int(attempts)
+        self.fingerprint = str(fingerprint)
+        self.worker_traceback = str(worker_traceback)
+
+
+class InjectedFaultError(ExecutionError):
+    """A deliberate, chaos-executor-injected failure (simulated death)."""
+
+
+class RunAbortedError(ExecutionError):
+    """The chaos executor aborted the run after K completed chunks.
+
+    Attributes
+    ----------
+    completed_chunks:
+        How many chunks finished (and were cached, when a cache_dir was
+        configured) before the abort fired — the state a ``--resume``
+        run picks up from.
+    """
+
+    def __init__(self, message, *, completed_chunks=0):
+        super().__init__(message)
+        self.completed_chunks = int(completed_chunks)

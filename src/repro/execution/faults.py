@@ -1,0 +1,180 @@
+"""Deterministic fault plans for the chaos executor.
+
+A :class:`FaultPlan` is a frozen, seed-derivable description of every
+fault a chaos run will inject — which chunk dies on which attempt, which
+chunk is delayed and by how much, which memo entries get corrupted after
+they are written, and whether the whole run aborts after K completed
+chunks.  Because the plan is data (not runtime randomness), a chaos run
+is exactly as replayable as a clean one: same seed, same faults, same
+bytes.
+
+:meth:`FaultPlan.seeded` derives a plan from ``np.random.default_rng``
+(the library's explicit-seed discipline, see lint rule R003), so tests
+and the CI chaos-smoke job can describe a whole fault campaign as four
+integers on a command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import check_int, check_positive
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan"]
+
+#: The fault vocabulary: simulated worker death, chunk delay, and
+#: post-write corruption of the chunk's npz memo entry.
+FAULT_KINDS = ("kill", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.  ``"kill"`` fails the chunk's
+        submission with an
+        :class:`~repro.execution.errors.InjectedFaultError`; ``"delay"``
+        sleeps ``seconds`` before evaluating; ``"corrupt"`` mangles the
+        chunk's memo entry right after the runner writes it.
+    chunk:
+        Index of the targeted chunk in the deterministic merge order.
+    attempt:
+        Zero-based attempt number the fault targets (kills and delays
+        only fire when the chunk is on exactly this attempt; corruption
+        ignores it).
+    seconds:
+        Sleep length for ``"delay"`` faults.
+    """
+
+    kind: str
+    chunk: int
+    attempt: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"fault kind must be one of {list(FAULT_KINDS)}; "
+                f"got {self.kind!r}"
+            )
+        check_int(self.chunk, "chunk", minimum=0)
+        check_int(self.attempt, "attempt", minimum=0)
+        check_positive(self.seconds, "seconds", allow_zero=True)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen campaign of :class:`Fault` records plus an optional abort.
+
+    Attributes
+    ----------
+    faults:
+        The injected faults, in injection-independent declaration order.
+    abort_after:
+        When not ``None``, the run raises
+        :class:`~repro.execution.errors.RunAbortedError` as soon as this
+        many chunks have completed (after their results — and cache
+        entries — landed), simulating a crash a ``--resume`` run can
+        recover from.
+    """
+
+    faults: tuple = field(default_factory=tuple)
+    abort_after: object = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for entry in self.faults:
+            if not isinstance(entry, Fault):
+                raise InvalidParameterError(
+                    f"FaultPlan.faults must hold Fault records; "
+                    f"got {entry!r}"
+                )
+        if self.abort_after is not None:
+            check_int(self.abort_after, "abort_after", minimum=0)
+
+    @classmethod
+    def seeded(cls, seed, num_chunks, *, kills=0, delays=0, corrupts=0,
+               delay_seconds=0.01, abort_after=None):
+        """Derive a plan from one integer seed (deterministic).
+
+        ``kills``/``delays``/``corrupts`` faults each target a chunk
+        drawn from ``default_rng(seed)``.  Repeated kills of the same
+        chunk escalate to later attempts (first kill hits attempt 0, the
+        second attempt 1, ...), so ``kills`` is the number of failures
+        actually exercised, not a number of coin flips — keep kills per
+        chunk below the retry policy's ``max_attempts`` if the run is
+        expected to succeed.
+        """
+        check_int(num_chunks, "num_chunks", minimum=0)
+        check_int(kills, "kills", minimum=0)
+        check_int(delays, "delays", minimum=0)
+        check_int(corrupts, "corrupts", minimum=0)
+        check_positive(delay_seconds, "delay_seconds", allow_zero=True)
+        rng = np.random.default_rng(seed)
+        faults = []
+        if num_chunks > 0:
+            kill_counts = {}
+            for _ in range(kills):
+                chunk = int(rng.integers(num_chunks))
+                attempt = kill_counts.get(chunk, 0)
+                kill_counts[chunk] = attempt + 1
+                faults.append(Fault("kill", chunk=chunk, attempt=attempt))
+            for _ in range(delays):
+                faults.append(Fault(
+                    "delay", chunk=int(rng.integers(num_chunks)),
+                    seconds=float(delay_seconds),
+                ))
+            for _ in range(corrupts):
+                faults.append(Fault(
+                    "corrupt", chunk=int(rng.integers(num_chunks)),
+                ))
+        return cls(faults=tuple(faults), abort_after=abort_after)
+
+    def kills_attempt(self, chunk_index, attempt):
+        """Whether a kill fault targets this (chunk, attempt) pair."""
+        return any(
+            f.kind == "kill"
+            and f.chunk == int(chunk_index)
+            and f.attempt == int(attempt)
+            for f in self.faults
+        )
+
+    def delay_for(self, chunk_index, attempt):
+        """Total injected sleep (seconds) for this (chunk, attempt)."""
+        return float(sum(
+            f.seconds
+            for f in self.faults
+            if f.kind == "delay"
+            and f.chunk == int(chunk_index)
+            and f.attempt == int(attempt)
+        ))
+
+    def corrupts_chunk(self, chunk_index):
+        """Whether a corrupt fault targets this chunk's memo entry."""
+        return any(
+            f.kind == "corrupt" and f.chunk == int(chunk_index)
+            for f in self.faults
+        )
+
+    def jsonable(self):
+        """JSON-able record of the plan (manifests, diagnostics)."""
+        return {
+            "faults": [
+                {
+                    "kind": f.kind,
+                    "chunk": int(f.chunk),
+                    "attempt": int(f.attempt),
+                    "seconds": float(f.seconds),
+                }
+                for f in self.faults
+            ],
+            "abort_after": (
+                None if self.abort_after is None else int(self.abort_after)
+            ),
+        }

@@ -1,0 +1,207 @@
+"""The ExecutorKind registry: pluggable ensemble-execution strategies.
+
+The fifth registry, mirroring :class:`~repro.dynamics.DynamicsKind`,
+:class:`~repro.refine.RefinerKind`,
+:class:`~repro.backends.EngineBackend`, and
+:class:`~repro.analysis.LintRule`: a frozen record per strategy under a
+canonical key (``serial`` / ``process`` / ``chaos``) with an alias
+table, a did-you-mean :class:`UnknownExecutorError`, and
+register/resolve/get/unregister functions.  Each entry binds a frozen
+*spec type* (the CLI- and manifest-facing parameter record) to a
+*factory* that builds the live
+:class:`~repro.execution.executors.ChunkExecutor` for a run.
+
+Registering an executor is enough for ``run_ncp_ensemble(executor=...)``
+and the ``repro ncp --executor`` flag to accept it by name (see
+``tests/test_execution.py`` for a worked third-party example).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "ExecutorKind",
+    "UnknownExecutorError",
+    "as_executor_spec",
+    "build_executor",
+    "get_executor",
+    "register_executor",
+    "registered_executors",
+    "resolve_executor_name",
+    "unregister_executor",
+]
+
+
+class UnknownExecutorError(InvalidParameterError, KeyError):
+    """Raised for an executor name that is not in the registry.
+
+    Inherits both :class:`~repro.exceptions.InvalidParameterError` (hence
+    ``ValueError``) and ``KeyError``, matching the other registry errors
+    (:class:`~repro.dynamics.UnknownDynamicsError`,
+    :class:`~repro.backends.UnknownBackendError`), so callers validating
+    either way keep working.
+    """
+
+    __str__ = Exception.__str__
+
+
+@dataclass(frozen=True)
+class ExecutorKind:
+    """One execution strategy: spec type + factory behind a canonical name.
+
+    Attributes
+    ----------
+    key:
+        Canonical registry name (``"serial"``, ``"process"``,
+        ``"chaos"``).
+    description:
+        One-line summary shown in ``--help`` and the architecture docs.
+    aliases:
+        Accepted alternative names.
+    spec_type:
+        Frozen dataclass of the strategy's parameters; ``spec_type()``
+        must be a valid default spec, and instances should provide
+        ``token()`` (canonical CLI string) and ``params()`` (JSON-able
+        manifest record).
+    factory:
+        ``(spec, *, graph, evaluate, num_workers)`` ->
+        :class:`~repro.execution.executors.ChunkExecutor` building the
+        live strategy for one run.
+    replayable:
+        Whether a manifest ``replay_argv`` may pin this executor.  The
+        chaos executor is *not* replayable: fault injection is an
+        execution fact (it never changes a completed run's bytes, and an
+        ``abort_after`` fault would crash the replay), so replays fall
+        back to the default strategy.
+    """
+
+    key: str
+    description: str
+    aliases: tuple = ()
+    spec_type: object = field(default=None, repr=False)
+    factory: object = field(default=None, repr=False)
+    replayable: bool = True
+
+
+_REGISTRY = {}
+_ALIASES = {}
+
+
+def _normalize(name):
+    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+
+
+def _unknown(name):
+    known = sorted(_REGISTRY)
+    aliases = sorted(a for a in _ALIASES if a not in _REGISTRY)
+    close = difflib.get_close_matches(_normalize(name), sorted(_ALIASES), n=1)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    return UnknownExecutorError(
+        f"unknown executor {name!r}: registered executors are {known} "
+        f"(aliases: {aliases}){hint}"
+    )
+
+
+def register_executor(kind, *, overwrite=False):
+    """Register an :class:`ExecutorKind` under its key and aliases.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` when the key
+    or an alias collides with an existing entry (pass ``overwrite=True``
+    to replace a previous registration).  Returns the kind, so
+    registration can be used as an expression.
+    """
+    if not isinstance(kind, ExecutorKind):
+        raise InvalidParameterError(
+            f"register_executor needs an ExecutorKind; got {kind!r}"
+        )
+    key = _normalize(kind.key)
+    names = [key] + [_normalize(alias) for alias in kind.aliases]
+    if not overwrite:
+        for name in names:
+            if name in _ALIASES and _ALIASES[name] != key:
+                raise InvalidParameterError(
+                    f"executor name {name!r} already registered "
+                    f"for {_ALIASES[name]!r}"
+                )
+        if key in _REGISTRY:
+            raise InvalidParameterError(
+                f"executor {key!r} already registered; pass overwrite=True "
+                "to replace it"
+            )
+    _REGISTRY[key] = kind
+    for name in names:
+        _ALIASES[name] = key
+    return kind
+
+
+def unregister_executor(name):
+    """Remove a registered executor (and its aliases) by name or alias."""
+    key = resolve_executor_name(name)
+    del _REGISTRY[key]
+    for alias in [a for a, k in _ALIASES.items() if k == key]:
+        del _ALIASES[alias]
+
+
+def resolve_executor_name(executor):
+    """Canonical executor key for a name, alias, kind, or spec instance."""
+    if isinstance(executor, ExecutorKind):
+        return _normalize(executor.key)
+    for key, kind in _REGISTRY.items():
+        if kind.spec_type is not None and isinstance(executor,
+                                                    kind.spec_type):
+            return key
+    if not isinstance(executor, str):
+        raise InvalidParameterError(
+            f"cannot resolve an executor from {executor!r}: pass a "
+            "registered name/alias, an ExecutorKind, or a spec instance"
+        )
+    key = _ALIASES.get(_normalize(executor))
+    if key is None:
+        raise _unknown(executor)
+    return key
+
+
+def get_executor(executor):
+    """Look up an :class:`ExecutorKind` by name, alias, spec, or identity."""
+    if isinstance(executor, ExecutorKind):
+        return executor
+    return _REGISTRY[resolve_executor_name(executor)]
+
+
+def registered_executors():
+    """Mapping of canonical executor key -> :class:`ExecutorKind`."""
+    return dict(_REGISTRY)
+
+
+def as_executor_spec(executor):
+    """Coerce a name, alias, kind, or spec instance into a frozen spec.
+
+    A name/alias or an :class:`ExecutorKind` yields the entry's default
+    spec (``spec_type()``); a spec instance of a registered kind passes
+    through unchanged.
+    """
+    kind = get_executor(executor)
+    if kind.spec_type is not None and isinstance(executor, kind.spec_type):
+        return executor
+    return kind.spec_type()
+
+
+def build_executor(executor, *, graph, evaluate, num_workers=0):
+    """Resolve ``executor`` and build the live strategy for one run.
+
+    Returns ``(chunk_executor, spec, kind)``.  ``evaluate`` is the
+    ``(graph, chunk) -> candidates`` callable (a module-level function,
+    so process-pool strategies can pickle it by reference);
+    ``num_workers`` is forwarded to the factory (pool strategies clamp
+    it to >= 1, serial strategies ignore it).
+    """
+    spec = as_executor_spec(executor)
+    kind = get_executor(spec)
+    instance = kind.factory(
+        spec, graph=graph, evaluate=evaluate, num_workers=num_workers
+    )
+    return instance, spec, kind

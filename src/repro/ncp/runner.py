@@ -8,19 +8,27 @@ the grid within one process; this module adds the remaining two
 production levers:
 
 * **Sharding** — the seed grid is split into fixed-size chunks, each
-  evaluated through the chunked batch API, optionally on a pool of worker
-  processes. The graph itself crosses the process boundary exactly once,
-  through a :mod:`multiprocessing.shared_memory` segment each worker maps
-  read-only at startup — the pickle channel carries only the lightweight
-  chunk descriptions, so fan-out cost is independent of graph size. Chunk
-  boundaries are deterministic functions of the inputs (never of the
-  worker count), and chunks are merged in index order, so the candidate
-  ensemble is identical for any ``num_workers`` — and identical to the
-  serial loop.
+  evaluated through the chunked batch API.  Chunk boundaries are
+  deterministic functions of the inputs (never of the worker count),
+  and chunks are merged in index order, so the candidate ensemble is
+  identical for any ``num_workers`` — and identical to the serial loop.
 * **Memoization** — each chunk's candidates can be persisted under a key
   derived from the graph's CSR bytes and the chunk's exact parameters, so
   repeated suite runs (benchmarks, notebook restarts, CI) recompute only
-  the chunks that changed.
+  the chunks that changed.  Entries are written the moment a chunk
+  completes, so a run killed mid-way leaves every finished chunk on
+  disk and a rerun with the same ``cache_dir`` resumes from there.
+
+*How* the non-cached chunks actually run is delegated to the
+:mod:`repro.execution` layer: ``run_ncp_ensemble(executor=...)``
+resolves any registered :class:`~repro.execution.ExecutorKind` (the
+``serial`` reference loop, the shared-memory ``process`` pool — whose
+workers map the CSR arrays from one
+:mod:`multiprocessing.shared_memory` segment, so the pickle channel
+carries only the lightweight chunk descriptions — or the
+fault-injecting ``chaos`` strategy) and the execution driver adds
+retry, straggler re-dispatch, and typed
+:class:`~repro.execution.ChunkExecutionError` failures on top.
 
 Dispatch is dynamics-agnostic: a chunk records the canonical registry
 name plus the exact grid parameters, and evaluation reconstructs the spec
@@ -38,8 +46,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import struct
 import time
 import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -55,6 +65,18 @@ from repro.dynamics import (
     warn_deprecated,
 )
 from repro.exceptions import InvalidParameterError
+from repro.execution import (
+    as_executor_spec,
+    build_executor,
+    execute_chunks,
+    get_executor,
+)
+# Compatibility re-exports: the shared-memory transport moved to
+# repro.execution.executors with the executor extraction.
+from repro.execution.executors import (  # noqa: F401
+    _attach_shared_graph,
+    _share_graph,
+)
 from repro.ncp.profile import (
     ClusterCandidate,
     _sample_seed_nodes,
@@ -184,6 +206,19 @@ class NCPRunResult:
         The sampled seed nodes, in grid order.
     wall_seconds:
         Wall-clock time of the run (diffusions + sweeps + cache traffic).
+    executor:
+        Canonical :mod:`repro.execution` registry key of the strategy
+        that ran the non-cached chunks.
+    executor_params:
+        The resolved executor spec's JSON-able parameter record.
+    retries:
+        Failed chunk attempts that were re-queued by the driver.
+    redispatches:
+        Straggler duplicates submitted (first-result-wins).
+    chunks:
+        One JSON-able completion record per chunk, in merge order:
+        ``index``, ``num_seeds``, ``cache_key``, ``source`` (``"cache"``
+        or ``"computed"``), ``attempts``, and ``completed``.
     """
 
     candidates: list = field(repr=False, default_factory=list)
@@ -196,6 +231,11 @@ class NCPRunResult:
     fingerprint: str = ""
     seed_nodes: tuple = ()
     wall_seconds: float = 0.0
+    executor: str = "serial"
+    executor_params: dict = field(repr=False, default_factory=dict)
+    retries: int = 0
+    redispatches: int = 0
+    chunks: list = field(repr=False, default_factory=list)
 
     def manifest(self):
         """JSON-able replay record of this run (the CLI's manifest body).
@@ -205,7 +245,8 @@ class NCPRunResult:
         plan, backend), the resolved refiner chain (one
         name/params/token record per stage, in order), the graph
         fingerprint scoping the result to the exact CSR arrays, and the
-        execution facts (workers, chunks, cache hits, wall time) that
+        execution facts (executor, workers, per-chunk completion
+        records, retries, re-dispatches, cache hits, wall time) that
         are allowed to vary between identical reruns.  ``grid.seed`` is
         recorded only when it is a plain integer or ``None``; a live RNG
         object is not replayable and is recorded as ``"seed": null``
@@ -243,6 +284,13 @@ class NCPRunResult:
             "cache_hits": int(self.cache_hits),
             "num_workers": int(self.num_workers),
             "wall_seconds": float(self.wall_seconds),
+            "executor": {
+                "name": self.executor,
+                "params": jsonable(dict(self.executor_params)),
+            },
+            "retries": int(self.retries),
+            "redispatches": int(self.redispatches),
+            "chunks": jsonable(list(self.chunks)),
         }
 
 
@@ -450,10 +498,14 @@ def _load_chunk(path):
                 )
                 for i in range(data["lengths"].size)
             ]
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile, TypeError):
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, TypeError,
+            EOFError, zlib.error, struct.error):
         # A truncated or foreign file is a miss, not a crash; the chunk
         # is recomputed and the entry rewritten.  (json.JSONDecodeError
-        # is a ValueError; a malformed provenance payload is a miss too.)
+        # is a ValueError; a malformed provenance payload is a miss too.
+        # zlib.error/EOFError/struct.error cover deflate streams cut
+        # short by a mid-write crash — and the chaos executor's corrupt
+        # fault — which np.load surfaces undecorated.)
         return None
 
 
@@ -476,82 +528,6 @@ def _evaluate_chunk(graph, chunk):
     if chunk.refiners:
         candidates = refine_candidates(graph, candidates, chunk.refiners)
     return candidates
-
-
-def _share_graph(graph):
-    """Copy the graph's CSR arrays into one shared-memory segment.
-
-    Returns ``(shm, layout)`` where ``layout`` is a tuple of
-    ``(byte_offset, dtype_str, length)`` triples (indptr, indices,
-    weights, each 8-byte aligned) from which :func:`_attach_shared_graph`
-    rebuilds zero-copy views in a worker process.  The caller owns the
-    segment and must ``close()`` + ``unlink()`` it.
-    """
-    from multiprocessing import shared_memory
-
-    arrays = (
-        np.ascontiguousarray(graph.indptr),
-        np.ascontiguousarray(graph.indices),
-        np.ascontiguousarray(graph.weights),
-    )
-    layout = []
-    offset = 0
-    for array in arrays:
-        offset = (offset + 7) & ~7
-        layout.append((offset, array.dtype.str, int(array.size)))
-        offset += array.nbytes
-    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-    for (start, _, _), array in zip(layout, arrays):
-        view = np.ndarray(
-            array.shape, dtype=array.dtype, buffer=shm.buf, offset=start
-        )
-        view[:] = array
-    return shm, tuple(layout)
-
-
-def _attach_shared_graph(shm_name, layout):
-    """Map a :func:`_share_graph` segment back into a read-only Graph."""
-    from multiprocessing import shared_memory
-
-    # Attaching re-registers the name with the resource tracker, but the
-    # tracker process (and its name *set*) is inherited from the parent,
-    # so the parent's single close()+unlink() after the pool drains is
-    # the one cleanup; workers only close their mapping implicitly at
-    # exit.
-    shm = shared_memory.SharedMemory(name=shm_name)
-    arrays = []
-    for start, dtype_str, length in layout:
-        view = np.ndarray(
-            (length,), dtype=np.dtype(dtype_str), buffer=shm.buf,
-            offset=start,
-        )
-        view.setflags(write=False)
-        arrays.append(view)
-    from repro.graph.graph import Graph
-
-    return shm, Graph(arrays[0], arrays[1], arrays[2], validate=False)
-
-
-# Per-worker-process state: the shared graph, attached once by the pool
-# initializer and reused by every chunk the worker evaluates.  The shm
-# handle is kept alive alongside the Graph so the views stay valid.
-_WORKER_SHM = None
-_WORKER_GRAPH = None
-
-
-def _worker_init(shm_name, layout):
-    """Pool initializer: attach the shared graph once per worker."""
-    global _WORKER_SHM, _WORKER_GRAPH
-    _WORKER_SHM, _WORKER_GRAPH = _attach_shared_graph(shm_name, layout)
-
-
-def _worker_evaluate(chunk):
-    """Process-pool entry point: evaluate one chunk on the shared graph.
-
-    Only the chunk travels through the pool's pickle channel; the CSR
-    arrays are the shared-memory views attached by :func:`_worker_init`.
-    """
-    return _evaluate_chunk(_WORKER_GRAPH, chunk)
 
 
 def _legacy_grid(dynamics, num_seeds, alphas, epsilons, ts, steps,
@@ -591,6 +567,8 @@ def run_ncp_ensemble(
     num_workers=0,
     seeds_per_chunk=8,
     cache_dir=None,
+    executor=None,
+    retry=None,
 ):
     """Run one dynamics' NCP candidate ensemble, sharded and memoized.
 
@@ -625,7 +603,20 @@ max_cluster_size, seed:
         Directory for the per-(graph, chunk) memo; ``None`` disables
         caching. Entries are keyed by graph fingerprint + exact chunk
         parameters + cache version, so a changed graph or grid never
-        reuses stale results.
+        reuses stale results.  Each entry is written the moment its
+        chunk completes, so an interrupted run resumes from the cache.
+    executor:
+        Execution strategy for the non-cached chunks: any
+        :mod:`repro.execution` registry name/alias (``"serial"``,
+        ``"process"``, ``"chaos"``, ...), spec instance, or
+        :class:`~repro.execution.ExecutorKind`.  ``None`` derives the
+        default from ``num_workers`` (``"process"`` when >= 1, else
+        ``"serial"``).  Every strategy produces byte-identical
+        candidates.
+    retry:
+        A :class:`~repro.execution.RetryPolicy` for the driver's
+        per-chunk retry and straggler re-dispatch (default:
+        ``RetryPolicy()``).
 
     Returns
     -------
@@ -654,6 +645,12 @@ max_cluster_size, seed:
     num_workers = check_int(num_workers, "num_workers", minimum=0)
     start_time = time.perf_counter()
 
+    executor_spec = as_executor_spec(
+        executor if executor is not None
+        else ("process" if num_workers >= 1 else "serial")
+    )
+    executor_kind = get_executor(executor_spec)
+
     rng = as_rng(grid.seed)
     seed_nodes = _sample_seed_nodes(graph, grid.num_seeds, rng)
     params = _grid_params(grid, graph)
@@ -670,53 +667,64 @@ max_cluster_size, seed:
         cache_path = Path(cache_dir)
         cache_path.mkdir(parents=True, exist_ok=True)
 
+    cache_keys = {
+        chunk.index: _chunk_cache_key(fingerprint, chunk)
+        for chunk in chunks
+    }
     per_chunk = [None] * len(chunks)
-    cache_hits = 0
+    hit_indices = set()
     misses = []
     for chunk in chunks:
         if cache_path is not None:
-            entry = cache_path / f"{_chunk_cache_key(fingerprint, chunk)}.npz"
+            entry = cache_path / f"{cache_keys[chunk.index]}.npz"
             if entry.exists():
                 loaded = _load_chunk(entry)
                 if loaded is not None:
                     per_chunk[chunk.index] = loaded
-                    cache_hits += 1
+                    hit_indices.add(chunk.index)
                     continue
         misses.append(chunk)
 
+    outcome = None
     if misses:
-        if num_workers >= 1:
-            from concurrent.futures import ProcessPoolExecutor
+        # Merge order is by chunk.index regardless of strategy, retries,
+        # or straggler re-dispatch, so the ensemble is byte-identical
+        # for any executor and any worker count.
+        chunk_executor, _, _ = build_executor(
+            executor_spec, graph=graph, evaluate=_evaluate_chunk,
+            num_workers=num_workers,
+        )
 
-            # The CSR arrays cross the process boundary exactly once,
-            # through a shared-memory segment every worker maps read-only
-            # at startup; the pickle channel carries only GridChunks.
-            # Merge order is by chunk.index regardless, so the ensemble
-            # is byte-identical for any worker count.
-            shm, layout = _share_graph(graph)
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=num_workers,
-                    initializer=_worker_init,
-                    initargs=(shm.name, layout),
-                ) as pool:
-                    for chunk, candidates in zip(
-                        misses, pool.map(_worker_evaluate, misses)
-                    ):
-                        per_chunk[chunk.index] = candidates
-            finally:
-                shm.close()
-                shm.unlink()
-        else:
-            for chunk in misses:
-                per_chunk[chunk.index] = _evaluate_chunk(graph, chunk)
-        if cache_path is not None:
-            for chunk in misses:
-                entry = (
-                    cache_path
-                    / f"{_chunk_cache_key(fingerprint, chunk)}.npz"
-                )
-                _save_chunk(entry, per_chunk[chunk.index])
+        def _on_result(chunk, candidates):
+            # Fired the moment a chunk completes: the incremental cache
+            # write is what makes an interrupted run resumable.
+            per_chunk[chunk.index] = candidates
+            if cache_path is not None:
+                entry = cache_path / f"{cache_keys[chunk.index]}.npz"
+                _save_chunk(entry, candidates)
+                chunk_executor.after_cache_write(chunk, entry)
+
+        outcome = execute_chunks(
+            chunk_executor, misses, retry=retry,
+            fingerprint=fingerprint, on_result=_on_result,
+        )
+
+    chunk_records = [
+        {
+            "index": int(chunk.index),
+            "num_seeds": len(chunk.seed_nodes),
+            "cache_key": cache_keys[chunk.index],
+            "source": (
+                "cache" if chunk.index in hit_indices else "computed"
+            ),
+            "attempts": (
+                0 if outcome is None
+                else int(outcome.attempts.get(chunk.index, 0))
+            ),
+            "completed": True,
+        }
+        for chunk in chunks
+    ]
 
     merged = []
     for candidates in per_chunk:
@@ -725,11 +733,16 @@ max_cluster_size, seed:
         candidates=merged,
         dynamics=grid.key,
         num_chunks=len(chunks),
-        cache_hits=cache_hits,
+        cache_hits=len(hit_indices),
         num_workers=num_workers,
         grid=grid,
         refiners=refiners,
         fingerprint=fingerprint,
         seed_nodes=tuple(int(s) for s in seed_nodes),
         wall_seconds=time.perf_counter() - start_time,
+        executor=executor_kind.key,
+        executor_params=executor_spec.params(),
+        retries=0 if outcome is None else outcome.retries,
+        redispatches=0 if outcome is None else outcome.redispatches,
+        chunks=chunk_records,
     )

@@ -1,0 +1,17 @@
+"""Known-bad fixture for the executor-discipline rule (R007)."""
+
+import concurrent.futures
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(work, evaluate):
+    with ProcessPoolExecutor(max_workers=4) as pool:  # direct construction
+        return list(pool.map(evaluate, work))
+
+
+def fan_out_dotted(work, evaluate):
+    pool = concurrent.futures.ProcessPoolExecutor()   # dotted form too
+    try:
+        return list(pool.map(evaluate, work))
+    finally:
+        pool.shutdown()

@@ -22,7 +22,11 @@ from repro.cli.manifest import (
     check_manifest,
     load_manifest,
 )
-from repro.cli.specs import parse_dynamics_list, parse_dynamics_spec
+from repro.cli.specs import (
+    parse_dynamics_list,
+    parse_dynamics_spec,
+    parse_executor_spec,
+)
 from repro.datasets import UnknownGraphError, load_any_graph, load_graph
 from repro.dynamics import HeatKernel, LazyWalk, PPR, UnknownDynamicsError
 from repro.exceptions import InvalidParameterError
@@ -165,6 +169,113 @@ class TestNCPReproducibility:
         assert run_record["num_candidates"] == len(lines) - 1
 
 
+class TestExecutorAndResume:
+    """The ``--executor`` flag and crash-then-resume via ``--resume``."""
+
+    def test_every_builtin_executor_is_byte_identical(self, tmp_path,
+                                                      capsys):
+        outputs = {}
+        for token, name in (
+            ("serial", "serial"),
+            ("process", "process"),
+            ("chaos:seed=3,kills=2,delay_seconds=0", "chaos"),
+        ):
+            assert run_cli("ncp", "--graph", "barbell", *NCP_ARGS,
+                           "--executor", token, "--workers", "2",
+                           "--out", str(tmp_path / name)) == 0
+            outputs[name] = (
+                tmp_path / name / "candidates.csv"
+            ).read_bytes()
+        assert outputs["serial"] == outputs["process"] == outputs["chaos"]
+        assert len(outputs["serial"]) > 0
+
+    def test_manifest_records_executor_and_status(self, tmp_path, capsys):
+        assert run_cli("ncp", "--graph", "barbell", *NCP_ARGS,
+                       "--executor", "serial",
+                       "--out", str(tmp_path)) == 0
+        manifest = load_manifest(tmp_path)
+        assert manifest["status"] == "complete"
+        assert manifest["arguments"]["executor"] == "serial"
+        assert manifest["runs"][0]["executor"]["name"] == "serial"
+        assert {
+            record["completed"] for record in manifest["runs"][0]["chunks"]
+        } == {True}
+        # A replayable executor is pinned in replay_argv ...
+        argv = manifest["replay_argv"]
+        assert argv[argv.index("--executor") + 1] == "serial"
+
+    def test_chaos_executor_is_never_in_replay_argv(self, tmp_path,
+                                                    capsys):
+        assert run_cli("ncp", "--graph", "barbell", *NCP_ARGS,
+                       "--executor", "chaos:seed=1,delay_seconds=0",
+                       "--out", str(tmp_path)) == 0
+        manifest = load_manifest(tmp_path)
+        assert "--executor" not in manifest["replay_argv"]
+        assert manifest["arguments"]["executor"].startswith("chaos:")
+
+    @pytest.mark.parametrize("resume_workers", ["0", "2"])
+    def test_crash_then_resume_is_byte_identical(self, tmp_path, capsys,
+                                                 resume_workers):
+        clean = tmp_path / "clean"
+        assert run_cli("ncp", "--graph", "barbell", *NCP_ARGS,
+                       "--out", str(clean)) == 0
+        crashed = tmp_path / "crashed"
+        cache = tmp_path / "cache"
+        assert run_cli(
+            "ncp", "--graph", "barbell", *NCP_ARGS,
+            "--executor", "chaos:seed=5,kills=1,abort_after=1,"
+                          "delay_seconds=0",
+            "--cache-dir", str(cache), "--out", str(crashed),
+        ) == 2
+        manifest = load_manifest(crashed)
+        assert manifest["status"] == "started"
+        assert list(cache.glob("*.npz"))
+        assert not (crashed / "candidates.csv").exists()
+        assert run_cli("ncp", "--resume", str(crashed),
+                       "--workers", resume_workers,
+                       "--out", str(crashed)) == 0
+        assert (crashed / "candidates.csv").read_bytes() == \
+            (clean / "candidates.csv").read_bytes()
+        resumed = load_manifest(crashed)
+        assert resumed["status"] == "complete"
+        assert resumed["runs"][0]["cache_hits"] >= 1
+
+    def test_resume_replays_workload_not_execution_flags(self, tmp_path,
+                                                         capsys):
+        first = tmp_path / "first"
+        assert run_cli("ncp", "--graph", "barbell", *NCP_ARGS,
+                       "--cache-dir", str(tmp_path / "cache"),
+                       "--out", str(first)) == 0
+        second = tmp_path / "second"
+        assert run_cli("ncp", "--resume", str(first),
+                       "--out", str(second)) == 0
+        assert (first / "candidates.csv").read_bytes() == \
+            (second / "candidates.csv").read_bytes()
+        # The workload arguments round-tripped through the manifest; the
+        # resumed run found every chunk in the original cache.
+        resumed = load_manifest(second)
+        assert resumed["arguments"]["dynamics"] == \
+            load_manifest(first)["arguments"]["dynamics"]
+        assert resumed["runs"][0]["cache_hits"] == \
+            resumed["runs"][0]["num_chunks"]
+
+    def test_resume_and_graph_are_mutually_exclusive(self, tmp_path,
+                                                     capsys):
+        assert run_cli("ncp", "--graph", "barbell", "--resume", "x",
+                       "--out", str(tmp_path)) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_graph_or_resume_is_required(self, tmp_path, capsys):
+        assert run_cli("ncp", "--out", str(tmp_path)) == 2
+        assert "--graph or --resume" in capsys.readouterr().err
+
+    def test_unknown_executor_is_a_usage_error(self, tmp_path, capsys):
+        assert run_cli("ncp", "--graph", "barbell", *NCP_ARGS,
+                       "--executor", "serail",
+                       "--out", str(tmp_path)) == 2
+        assert "did you mean 'serial'" in capsys.readouterr().err
+
+
 class TestCluster:
     @pytest.mark.parametrize("spec", ["ppr:alpha=0.1,eps=1e-3", "hk",
                                       "nibble"])
@@ -269,6 +380,29 @@ class TestSpecStrings:
         assert requests[0].epsilons == (1e-4,)
         assert requests[1].spec() == HeatKernel(t=5.0)
         assert requests[2].epsilons is None
+
+    def test_executor_specs(self):
+        from repro.execution import Chaos, ProcessPool, Serial
+
+        assert parse_executor_spec("serial") == Serial()
+        assert parse_executor_spec("pool") == ProcessPool()
+        chaos = parse_executor_spec(
+            "chaos:seed=3,kills=2,abort_after=4"
+        )
+        assert chaos == Chaos(seed=3, kills=2, abort_after=4)
+        # token() round-trips through the parser.
+        assert parse_executor_spec(chaos.token()) == chaos
+
+    def test_executor_spec_errors(self):
+        with pytest.raises(InvalidParameterError,
+                           match="exactly one executor"):
+            parse_executor_spec("serial,process")
+        with pytest.raises(InvalidParameterError,
+                           match="unknown parameter"):
+            parse_executor_spec("chaos:frobnicate=3")
+        with pytest.raises(InvalidParameterError,
+                           match="did you mean"):
+            parse_executor_spec("serail")
 
     def test_errors(self):
         with pytest.raises(UnknownDynamicsError):

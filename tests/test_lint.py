@@ -53,6 +53,7 @@ BUILTIN_RULES = (
     "exception-policy",
     "shim-policy",
     "numba-purity",
+    "executor-discipline",
 )
 
 

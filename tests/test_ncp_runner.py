@@ -12,6 +12,8 @@ the mixing-time non-convergence lie.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -30,6 +32,7 @@ from repro.ncp.profile import (
     cluster_ensemble_ncp,
 )
 from repro.ncp.runner import (
+    _load_chunk,
     graph_fingerprint,
     plan_chunks,
     run_ncp_ensemble,
@@ -202,6 +205,36 @@ class TestRunnerMemoization:
         # The rewritten entries serve the next run.
         third = run_ncp_ensemble(whiskered, grid, cache_dir=tmp_path)
         assert third.cache_hits == third.num_chunks
+
+    @pytest.mark.parametrize(
+        "fixture", ["chunk_truncated.npz", "chunk_bitflipped.npz"]
+    )
+    def test_committed_corrupt_fixture_is_a_miss_not_a_crash(
+            self, whiskered, tmp_path, fixture):
+        # Regression for the truncated/bit-flipped memo bug class: the
+        # committed fixtures are a real _save_chunk payload cut short
+        # mid-write and one with a flipped byte (the chaos executor's
+        # corrupt fault produces exactly these shapes).  Both must read
+        # back as cache misses, be recomputed, and be rewritten valid.
+        fixtures = Path(__file__).parent / "fixtures" / "cache"
+        assert _load_chunk(fixtures / "chunk_valid.npz") is not None
+        assert _load_chunk(fixtures / fixture) is None
+        grid = DiffusionGrid(
+            PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=4, seed=0
+        )
+        first = run_ncp_ensemble(
+            whiskered, grid, seeds_per_chunk=2, cache_dir=tmp_path
+        )
+        target = sorted(tmp_path.glob("*.npz"))[0]
+        target.write_bytes((fixtures / fixture).read_bytes())
+        repaired = run_ncp_ensemble(
+            whiskered, grid, seeds_per_chunk=2, cache_dir=tmp_path
+        )
+        assert repaired.cache_hits == repaired.num_chunks - 1
+        assert candidate_signature(repaired.candidates) == (
+            candidate_signature(first.candidates)
+        )
+        assert _load_chunk(target) is not None
 
     def test_scalar_engine_never_served_batched_entries(self, whiskered,
                                                         tmp_path):

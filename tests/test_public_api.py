@@ -39,6 +39,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.diffusion",
     "repro.dynamics",
+    "repro.execution",
     "repro.graph",
     "repro.linalg",
     "repro.ncp",
@@ -181,6 +182,62 @@ def test_every_registered_backend_instantiates():
             scores = np.arange(graph.num_nodes, 0, -1, dtype=float)
             cut = sweep_cut(graph, scores, backend=key)
             assert 0.0 <= cut.conductance <= 1.0, key
+
+
+def test_every_registered_executor_instantiates():
+    """CI satellite: the public-api-smoke job exercises every executor.
+
+    Each registry entry must resolve by key and by every alias, describe
+    itself, build a default spec with a CLI token and JSON-able params,
+    and drive a real (tiny) chunk plan end to end through
+    :func:`~repro.execution.execute_chunks` with results identical to
+    the serial reference.
+    """
+    from repro.execution import (
+        build_executor,
+        execute_chunks,
+        get_executor,
+        registered_executors,
+        RetryPolicy,
+    )
+    from repro.dynamics import PPR
+    from repro.ncp.runner import _evaluate_chunk, _grid_params, plan_chunks
+
+    graph = ring_of_cliques(4, 5)
+    grid = DiffusionGrid(
+        PPR(alpha=(0.1,)), epsilons=(1e-3,), num_seeds=2, seed=0
+    )
+    chunks = plan_chunks(
+        grid.dynamics, [0, 5], _grid_params(grid, graph),
+        seeds_per_chunk=1,
+    )
+    policy = RetryPolicy(backoff_seconds=0.0, straggler_factor=None)
+    reference = None
+    executors = registered_executors()
+    assert set(executors) >= {"serial", "process", "chaos"}
+    for key, kind in executors.items():
+        assert get_executor(key) is kind, key
+        for alias in kind.aliases:
+            assert get_executor(alias) is kind, (key, alias)
+        assert kind.description.strip(), key
+        spec = kind.spec_type()
+        assert isinstance(spec.token(), str) and spec.token(), key
+        assert isinstance(spec.params(), dict), key
+
+        instance, _, _ = build_executor(
+            key, graph=graph, evaluate=_evaluate_chunk, num_workers=1,
+        )
+        outcome = execute_chunks(instance, chunks, retry=policy)
+        signature = {
+            index: [
+                (c.nodes.tobytes(), c.conductance, c.method)
+                for c in candidates
+            ]
+            for index, candidates in outcome.results.items()
+        }
+        if reference is None:
+            reference = signature
+        assert signature == reference, key
 
 
 def test_every_registered_refiner_instantiates():
